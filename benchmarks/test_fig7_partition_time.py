@@ -1,0 +1,62 @@
+"""Figure 7 -- Temporal-partitioning running time against eps_p.
+
+The incremental temporal partitioning (Section 3.2.2) is the component that
+keeps the partition sets N^t up to date; Figure 7 reports its running time for
+different partition thresholds.  Expected shape: running time falls as eps_p
+grows, because fewer partitions are produced and fewer re-splits are needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from benchmarks.harness import build_ppq_variant
+from repro.core.config import PartitionCriterion
+
+#: eps_p sweeps per variant, matching the x-axes of Figure 7.
+SWEEPS = {
+    ("PPQ-A", "porto"): (0.01, 0.03, 0.05),
+    ("PPQ-S", "porto"): (0.1, 0.3, 0.5),
+    ("PPQ-A", "geolife"): (0.01, 0.03, 0.05),
+    ("PPQ-S", "geolife"): (1.0, 3.0, 5.0),
+}
+
+
+def _run(dataset, dataset_name, method, t_max=60):
+    from repro.core.config import CQCConfig, PPQConfig
+    from repro.core.ppq import PartitionwisePredictiveQuantizer
+
+    criterion = (PartitionCriterion.AUTOCORRELATION if method == "PPQ-A"
+                 else PartitionCriterion.SPATIAL)
+    rows = []
+    for eps_p in SWEEPS[(method, dataset_name)]:
+        config = PPQConfig(epsilon_p=eps_p, criterion=criterion)
+        quantizer = PartitionwisePredictiveQuantizer(config, CQCConfig(enabled=False))
+        quantizer.summarize(dataset, t_max=t_max)
+        rows.append([eps_p, quantizer.timings["partitioning"],
+                     max(quantizer.partition_history)])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("method", ["PPQ-A", "PPQ-S"])
+def test_fig7_partition_time_porto(benchmark, porto_bench, method):
+    rows = benchmark.pedantic(lambda: _run(porto_bench, "porto", method),
+                              rounds=1, iterations=1)
+    print_table(f"Figure 7 ({method}, Porto-like): partitioning time vs eps_p",
+                ["eps_p", "time (s)", "max q"], rows, widths=[10, 14, 10])
+    times = [row[1] for row in rows]
+    # Looser thresholds never cost (much) more partitioning time.
+    assert times[-1] <= times[0] * 1.5
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("method", ["PPQ-A", "PPQ-S"])
+def test_fig7_partition_time_geolife(benchmark, geolife_bench, method):
+    rows = benchmark.pedantic(lambda: _run(geolife_bench, "geolife", method, t_max=50),
+                              rounds=1, iterations=1)
+    print_table(f"Figure 7 ({method}, GeoLife-like): partitioning time vs eps_p",
+                ["eps_p", "time (s)", "max q"], rows, widths=[10, 14, 10])
+    counts = [row[2] for row in rows]
+    assert counts[-1] <= counts[0]

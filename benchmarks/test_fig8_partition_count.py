@@ -1,0 +1,57 @@
+"""Figure 8 -- Number of partitions q over time for different eps_p.
+
+The incremental partitioner maintains the number of partitions q as the data
+streams in; Figure 8 shows q(t) for several partition thresholds.  Expected
+shape: q grows during an initial warm-up and then stabilises; at any time a
+tighter eps_p maintains at least as many partitions as a looser one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.config import CQCConfig, PPQConfig, PartitionCriterion
+from repro.core.ppq import PartitionwisePredictiveQuantizer
+
+EPS_P_SWEEP = {"PPQ-A": (0.005, 0.01, 0.05), "PPQ-S": (0.02, 0.1, 0.5)}
+CRITERIA = {"PPQ-A": PartitionCriterion.AUTOCORRELATION, "PPQ-S": PartitionCriterion.SPATIAL}
+CHECKPOINTS = (5, 15, 30, 59)
+
+
+def _run(dataset, method, t_max=60):
+    rows = []
+    histories = {}
+    for eps_p in EPS_P_SWEEP[method]:
+        config = PPQConfig(epsilon_p=eps_p, criterion=CRITERIA[method])
+        quantizer = PartitionwisePredictiveQuantizer(config, CQCConfig(enabled=False))
+        quantizer.summarize(dataset, t_max=t_max)
+        history = quantizer.partition_history
+        histories[eps_p] = history
+        row = [eps_p]
+        for checkpoint in CHECKPOINTS:
+            idx = min(checkpoint, len(history) - 1)
+            row.append(history[idx])
+        row.append(max(history))
+        rows.append(row)
+    return rows, histories
+
+
+@pytest.mark.benchmark(group="fig8")
+@pytest.mark.parametrize("method", ["PPQ-A", "PPQ-S"])
+def test_fig8_partition_count(benchmark, porto_bench, method):
+    rows, histories = benchmark.pedantic(lambda: _run(porto_bench, method),
+                                         rounds=1, iterations=1)
+    print_table(f"Figure 8 ({method}, Porto-like): q over time per eps_p",
+                ["eps_p"] + [f"t={c}" for c in CHECKPOINTS] + ["max q"], rows,
+                widths=[10, 8, 8, 8, 8, 8])
+    sweep = EPS_P_SWEEP[method]
+    # Tighter thresholds maintain at least as many partitions (at the end).
+    tight = histories[sweep[0]]
+    loose = histories[sweep[-1]]
+    assert tight[-1] >= loose[-1]
+    # The partition count stabilises: the last quarter of the stream changes
+    # q by at most a factor of two.
+    last_quarter = tight[3 * len(tight) // 4:]
+    assert max(last_quarter) <= 2 * max(1, min(last_quarter))

@@ -1,0 +1,85 @@
+"""Table 3 -- MAE against different lengths of trajectory path queries (TPQ).
+
+The same trajectory IDs are queried for every method (the paper's fairness
+protocol), their next ``l`` positions are reconstructed from each summary and
+the MAE against the raw sub-trajectories is reported for l = 10..50.
+Expected shape: MAE grows with the path length for every method; the PPQ
+variants stay one to two orders of magnitude below Q-trajectory / residual /
+product quantization; the CQC variants beat their ``-basic`` counterparts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from benchmarks.harness import (
+    ALL_METHODS,
+    BASELINES,
+    PPQ_VARIANTS,
+    build_baseline,
+    build_ppq_variant,
+    matched_codeword_bits,
+)
+from repro.metrics.accuracy import path_mean_absolute_error
+
+TPQ_LENGTHS = (10, 20, 30, 40, 50)
+
+
+def _run(dataset, dataset_name, num_queries=60, t_max=80):
+    rng = np.random.default_rng(13)
+    ids = dataset.trajectory_ids
+    queries = [(int(rng.choice(ids)), int(rng.integers(0, 20))) for _ in range(num_queries)]
+
+    summaries = {}
+    reference = None
+    for method in PPQ_VARIANTS:
+        summary, _ = build_ppq_variant(method, dataset, dataset_name=dataset_name, t_max=t_max)
+        summaries[method] = summary
+        if method == "PPQ-A":
+            reference = summary
+    bits = matched_codeword_bits(reference, dataset)
+    for method in BASELINES:
+        summaries[method] = build_baseline(method, dataset, bits=bits, t_max=t_max)
+
+    rows = []
+    for method in ALL_METHODS:
+        row = [method]
+        for length in TPQ_LENGTHS:
+            row.append(path_mean_absolute_error(summaries[method], dataset, queries, length))
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_tpq_porto(benchmark, porto_bench):
+    rows = benchmark.pedantic(lambda: _run(porto_bench, "porto"), rounds=1, iterations=1)
+    print_table("Table 3 (Porto-like): TPQ MAE (m) vs path length",
+                ["method"] + [f"l={length}" for length in TPQ_LENGTHS], rows,
+                widths=[26, 12, 12, 12, 12, 12])
+    by_method = {row[0]: row[1:] for row in rows}
+    # MAE grows (or stays flat) with the query length for the error-bounded
+    # methods.
+    for method in ("PPQ-A", "PPQ-S", "E-PQ"):
+        assert by_method[method][0] <= by_method[method][-1] * 1.5
+    # PPQ stays far below the per-timestamp baselines at every length.
+    for i in range(len(TPQ_LENGTHS)):
+        assert by_method["PPQ-A"][i] < by_method["Q-trajectory"][i]
+        assert by_method["PPQ-A"][i] < by_method["Product Quantization"][i]
+        assert by_method["PPQ-A"][i] < by_method["Residual Quantization"][i]
+    # CQC variants beat the basic variants.
+    assert by_method["PPQ-A"][0] <= by_method["PPQ-A-basic"][0]
+    assert by_method["PPQ-S"][0] <= by_method["PPQ-S-basic"][0]
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_tpq_geolife(benchmark, geolife_bench):
+    rows = benchmark.pedantic(lambda: _run(geolife_bench, "geolife", num_queries=40, t_max=60),
+                              rounds=1, iterations=1)
+    print_table("Table 3 (GeoLife-like): TPQ MAE (m) vs path length",
+                ["method"] + [f"l={length}" for length in TPQ_LENGTHS], rows,
+                widths=[26, 12, 12, 12, 12, 12])
+    by_method = {row[0]: row[1:] for row in rows}
+    for i in range(len(TPQ_LENGTHS)):
+        assert by_method["PPQ-A"][i] < by_method["Q-trajectory"][i]

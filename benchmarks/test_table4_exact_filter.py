@@ -1,0 +1,92 @@
+"""Table 4 -- Average ratio of trajectories visited (and MAE) vs codebook size.
+
+The summary is used as an index for exact-match queries: after pruning, only a
+candidate set of trajectories is accessed against the raw data.  The paper
+varies the per-timestamp codebook size from 5 to 9 bits and reports the
+average fraction of trajectories visited together with the summary MAE.
+Expected shape: the PPQ variants' visited ratio is small and essentially flat
+in the codebook size (their filtering power comes from CQC, not from the
+codebook), while the baselines' ratios start high and shrink as the codebook
+grows; baseline MAE drops steeply with more bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import make_queries, print_table
+from benchmarks.harness import build_baseline, build_index_over, build_ppq_variant
+from repro.core.config import IndexConfig
+from repro.cqc.local_search import search_radius
+from repro.metrics.accuracy import mean_absolute_error
+from repro.queries.exact import exact_match_query
+
+BIT_SIZES = (5, 6, 7, 8, 9)
+METHODS = ("PPQ-A", "PPQ-S", "Q-trajectory", "Residual Quantization", "Product Quantization")
+
+
+def _visited_ratio(summary, dataset, queries, index_config):
+    """Average fraction of active trajectories accessed per exact query."""
+    index = build_index_over(summary, index_config)
+    ratios = []
+    if getattr(summary, "cqc_coder", None) is not None:
+        for x, y, t, _tid in queries:
+            result = exact_match_query(index, summary, dataset, x, y, t,
+                                       cell_size=index_config.grid_cell)
+            ratios.append(result.visited_ratio)
+    else:
+        radius = search_radius(index_config.grid_cell)
+        for x, y, t, _tid in queries:
+            candidates = index.lookup_local(x, y, t, radius=radius)
+            active = len(dataset.time_slice(t))
+            ratios.append(len(candidates) / active if active else 0.0)
+    return float(np.mean(ratios)) if ratios else float("nan")
+
+
+def _run(dataset, dataset_name, num_queries=50, t_max=50):
+    index_config = IndexConfig()
+    truncated = dataset.truncate(t_max)
+    queries = make_queries(truncated, num_queries=num_queries, seed=23)
+    ratio_rows, mae_rows = [], []
+    for method in METHODS:
+        ratio_row, mae_row = [method], [method]
+        for bits in BIT_SIZES:
+            if method.startswith("PPQ"):
+                # The PPQ variants do not take a bit budget: their codebook is
+                # determined by eps1; the sweep only affects the baselines
+                # (the paper observes the same flat behaviour).
+                summary, _ = build_ppq_variant(method, dataset,
+                                               dataset_name=dataset_name, t_max=t_max)
+            else:
+                summary = build_baseline(method, dataset, bits=bits, t_max=t_max)
+            ratio_row.append(_visited_ratio(summary, truncated, queries, index_config))
+            mae_row.append(mean_absolute_error(summary, dataset, t_max=t_max))
+        ratio_rows.append(ratio_row)
+        mae_rows.append(mae_row)
+    return ratio_rows, mae_rows
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_exact_filter_porto(benchmark, porto_bench):
+    small = porto_bench.restrict(porto_bench.trajectory_ids[:50])
+    ratio_rows, mae_rows = benchmark.pedantic(lambda: _run(small, "porto"),
+                                              rounds=1, iterations=1)
+    header = ["method"] + [f"{bits}bits" for bits in BIT_SIZES]
+    print_table("Table 4 (Porto-like): avg ratio of trajectories visited",
+                header, ratio_rows, widths=[26, 10, 10, 10, 10, 10])
+    print_table("Table 4 (Porto-like): MAE (m)", header, mae_rows,
+                widths=[26, 10, 10, 10, 10, 10])
+
+    ratios = {row[0]: row[1:] for row in ratio_rows}
+    maes = {row[0]: row[1:] for row in mae_rows}
+    # PPQ's visited ratio is flat across codebook sizes (same summary).
+    assert max(ratios["PPQ-A"]) - min(ratios["PPQ-A"]) < 1e-9
+    assert max(ratios["PPQ-S"]) - min(ratios["PPQ-S"]) < 1e-9
+    # PPQ visits at most as many trajectories as the weakest baseline setting.
+    assert np.mean(ratios["PPQ-A"]) <= max(ratios["Q-trajectory"]) + 1e-9
+    # Baseline MAE decreases as the codebook grows.
+    assert maes["Q-trajectory"][-1] <= maes["Q-trajectory"][0]
+    assert maes["Product Quantization"][-1] <= maes["Product Quantization"][0]
+    # PPQ MAE stays below every baseline MAE at 5 bits.
+    assert maes["PPQ-A"][0] < maes["Q-trajectory"][0]

@@ -1,0 +1,80 @@
+"""Table 5 -- Summary building time against the spatial-deviation budget.
+
+Every method builds its summary under the same metre-denominated spatial
+deviation (for the CQC variants the paper sets ``eps1 = 2 g_s`` so the final
+deviation, ``sqrt(2)/2 g_s``, stays within the budget).  Expected shape:
+building time decreases as the deviation budget grows (fewer refinement
+iterations), and the PPQ variants build much faster than Q-trajectory /
+residual quantization / product quantization / TrajStore because the
+prediction step shrinks the dynamic range that has to be quantized.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from benchmarks.harness import BASELINES, build_baseline, build_ppq_variant
+from repro.utils.geo import meters_to_degrees
+
+DEVIATIONS_M = (200.0, 600.0, 1000.0)
+PPQ_METHODS = ("PPQ-A", "PPQ-A-basic", "PPQ-S", "PPQ-S-basic", "E-PQ")
+
+
+def build_with_deviation(method, dataset, deviation_m, dataset_name, t_max):
+    """Build one summary under a metre-denominated deviation budget."""
+    if method in PPQ_METHODS:
+        if method.endswith("-basic") or method == "E-PQ":
+            epsilon1 = meters_to_degrees(deviation_m)
+            grid = meters_to_degrees(deviation_m)
+        else:
+            grid = meters_to_degrees(deviation_m)      # g_s = deviation
+            epsilon1 = meters_to_degrees(2 * deviation_m)  # eps1 = 2 g_s
+        start = time.perf_counter()
+        summary, _ = build_ppq_variant(method, dataset, epsilon1=epsilon1, grid_size=grid,
+                                       dataset_name=dataset_name, t_max=t_max)
+        return summary, time.perf_counter() - start
+    start = time.perf_counter()
+    summary = build_baseline(method, dataset, epsilon=meters_to_degrees(deviation_m), t_max=t_max)
+    return summary, time.perf_counter() - start
+
+
+def _run(dataset, dataset_name, t_max=60):
+    rows = []
+    for method in PPQ_METHODS + BASELINES:
+        row = [method]
+        for deviation in DEVIATIONS_M:
+            _summary, seconds = build_with_deviation(method, dataset, deviation,
+                                                     dataset_name, t_max)
+            row.append(seconds)
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_build_time_porto(benchmark, porto_bench):
+    rows = benchmark.pedantic(lambda: _run(porto_bench, "porto"), rounds=1, iterations=1)
+    print_table("Table 5 (Porto-like): summary building time (s) vs deviation",
+                ["method"] + [f"{int(d)}m" for d in DEVIATIONS_M], rows,
+                widths=[26, 12, 12, 12])
+    by_method = {row[0]: row[1:] for row in rows}
+    # Building time does not increase as the budget loosens (within noise).
+    for method in ("Q-trajectory", "PPQ-A", "PPQ-S"):
+        assert by_method[method][-1] <= by_method[method][0] * 1.6
+    # PPQ builds faster than the non-predictive alternatives at the tightest
+    # deviation, where quantization work dominates.
+    assert by_method["PPQ-A"][0] < by_method["Q-trajectory"][0]
+    assert by_method["PPQ-S"][0] < by_method["TrajStore"][0]
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_build_time_geolife(benchmark, geolife_bench):
+    rows = benchmark.pedantic(lambda: _run(geolife_bench, "geolife", t_max=50),
+                              rounds=1, iterations=1)
+    print_table("Table 5 (GeoLife-like): summary building time (s) vs deviation",
+                ["method"] + [f"{int(d)}m" for d in DEVIATIONS_M], rows,
+                widths=[26, 12, 12, 12])
+    by_method = {row[0]: row[1:] for row in rows}
+    assert by_method["PPQ-A"][0] < by_method["Q-trajectory"][0]

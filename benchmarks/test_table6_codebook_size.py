@@ -1,0 +1,58 @@
+"""Table 6 -- Number of codewords against the spatial-deviation budget.
+
+Same sweep as Table 5, reporting the total number of codewords each method
+needs to meet the deviation budget.  Expected shape: codebook sizes shrink as
+the budget grows; the PPQ variants need far fewer codewords than E-PQ, which
+in turn needs fewer than Q-trajectory / residual / product quantization /
+TrajStore (prediction narrows the range to be quantized; partition-wise
+prediction narrows it further).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from benchmarks.harness import BASELINES
+from benchmarks.test_table5_build_time import DEVIATIONS_M, PPQ_METHODS, build_with_deviation
+
+
+def _run(dataset, dataset_name, t_max=60):
+    rows = []
+    for method in PPQ_METHODS + BASELINES:
+        row = [method]
+        for deviation in DEVIATIONS_M:
+            summary, _seconds = build_with_deviation(method, dataset, deviation,
+                                                     dataset_name, t_max)
+            row.append(summary.num_codewords)
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_codebook_size_porto(benchmark, porto_bench):
+    rows = benchmark.pedantic(lambda: _run(porto_bench, "porto"), rounds=1, iterations=1)
+    print_table("Table 6 (Porto-like): number of codewords vs deviation",
+                ["method"] + [f"{int(d)}m" for d in DEVIATIONS_M], rows,
+                widths=[26, 12, 12, 12])
+    by_method = {row[0]: row[1:] for row in rows}
+    # Codebooks shrink (or stay equal) as the budget loosens.
+    for method in by_method:
+        assert by_method[method][-1] <= by_method[method][0]
+    # Predictive codebooks are much smaller than non-predictive ones.
+    for i in range(len(DEVIATIONS_M)):
+        assert by_method["PPQ-A"][i] <= by_method["Q-trajectory"][i]
+        assert by_method["PPQ-S"][i] <= by_method["TrajStore"][i]
+        assert by_method["PPQ-A-basic"][i] <= by_method["Q-trajectory"][i]
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_codebook_size_geolife(benchmark, geolife_bench):
+    rows = benchmark.pedantic(lambda: _run(geolife_bench, "geolife", t_max=50),
+                              rounds=1, iterations=1)
+    print_table("Table 6 (GeoLife-like): number of codewords vs deviation",
+                ["method"] + [f"{int(d)}m" for d in DEVIATIONS_M], rows,
+                widths=[26, 12, 12, 12])
+    by_method = {row[0]: row[1:] for row in rows}
+    for i in range(len(DEVIATIONS_M)):
+        assert by_method["PPQ-A"][i] <= by_method["Q-trajectory"][i]

@@ -1,0 +1,42 @@
+"""Baselines re-implemented for the comparative experiments (Section 6.1).
+
+Every baseline implements the :class:`~repro.baselines.common.TrajectorySummarizer`
+protocol -- ``summarize(dataset) -> BaselineSummary`` -- so the benchmark
+harness can run all methods through the same code path.
+
+* :mod:`repro.baselines.product_quantization` -- product quantization
+  (Jégou et al.), per-timestamp codebooks over raw coordinates split into
+  per-dimension sub-quantizers.
+* :mod:`repro.baselines.residual_quantization` -- residual (multi-stage)
+  quantization (Chen et al.).
+* :mod:`repro.baselines.q_trajectory` -- the paper's Q-trajectory ablation:
+  the incremental error-bounded quantizer applied to raw coordinates without
+  prediction.
+* :mod:`repro.baselines.trajstore` -- TrajStore (Cudre-Mauroux et al.): an
+  adaptive quadtree spatial index with per-cell sub-trajectory quantization.
+* :mod:`repro.baselines.rest` -- REST (Zhao et al.): reference-based
+  trajectory compression by sub-trajectory matching.
+* :mod:`repro.baselines.line_simplification` -- Douglas-Peucker and SQUISH
+  point-dropping baselines (extension; discussed in the paper's related work).
+"""
+
+from repro.baselines.common import BaselineSummary, TrajectorySummarizer
+from repro.baselines.line_simplification import LineSimplificationSummarizer
+from repro.baselines.product_quantization import ProductQuantizationSummarizer
+from repro.baselines.residual_quantization import ResidualQuantizationSummarizer
+from repro.baselines.q_trajectory import QTrajectorySummarizer
+from repro.baselines.trajstore import TrajStore, TrajStoreSummarizer
+from repro.baselines.rest import RESTCompressor, RESTSummary
+
+__all__ = [
+    "BaselineSummary",
+    "TrajectorySummarizer",
+    "ProductQuantizationSummarizer",
+    "ResidualQuantizationSummarizer",
+    "QTrajectorySummarizer",
+    "TrajStore",
+    "TrajStoreSummarizer",
+    "RESTCompressor",
+    "RESTSummary",
+    "LineSimplificationSummarizer",
+]

@@ -1,0 +1,116 @@
+"""Common interface shared by all baseline summarizers.
+
+Every baseline produces a :class:`BaselineSummary`: a per-point reconstruction
+table plus the storage accounting needed for the compression-ratio and
+codebook-size experiments.  The summary exposes the same reconstruction
+methods as :class:`repro.core.summary.TrajectorySummary`, so the metric and
+query code can treat PPQ and the baselines uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+
+
+@dataclass
+class BaselineSummary:
+    """Summary produced by a baseline method.
+
+    Attributes
+    ----------
+    method:
+        Human-readable method name (used in benchmark tables).
+    reconstructions:
+        Mapping ``(traj_id, t)`` -> reconstructed point.
+    num_codewords:
+        Total number of codewords across all codebooks of the method.
+    storage_bits:
+        Total storage footprint of the summary (codebooks + per-point codes +
+        any side information), in bits.
+    num_points:
+        Number of summarised trajectory points.
+    build_seconds:
+        Wall-clock time spent building the summary.
+    extras:
+        Free-form method-specific statistics (e.g. TrajStore cell counts).
+    """
+
+    method: str
+    reconstructions: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+    num_codewords: int = 0
+    storage_bits: int = 0
+    num_points: int = 0
+    build_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # reconstruction interface (mirrors TrajectorySummary)
+    # ------------------------------------------------------------------ #
+    def reconstruct_point(self, traj_id: int, t: int, use_cqc: bool = True) -> np.ndarray | None:
+        """Reconstructed position of ``traj_id`` at ``t`` (``None`` if absent)."""
+        return self.reconstructions.get((int(traj_id), int(t)))
+
+    def reconstruct_path(self, traj_id: int, t_start: int, length: int,
+                         use_cqc: bool = True) -> np.ndarray:
+        """Consecutive reconstructed positions starting at ``t_start``."""
+        points = []
+        for t in range(int(t_start), int(t_start) + int(length)):
+            point = self.reconstruct_point(traj_id, t)
+            if point is None:
+                break
+            points.append(point)
+        if not points:
+            return np.empty((0, 2), dtype=float)
+        return np.vstack(points)
+
+    def to_dataset(self) -> TrajectoryDataset:
+        """Materialise the reconstructions as a dataset (for index building)."""
+        per_traj: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for (tid, t), point in self.reconstructions.items():
+            per_traj.setdefault(tid, []).append((t, point))
+        trajectories = []
+        for tid, entries in per_traj.items():
+            entries.sort(key=lambda item: item[0])
+            timestamps = np.asarray([t for t, _ in entries], dtype=np.int64)
+            points = np.vstack([p for _, p in entries])
+            trajectories.append(Trajectory(traj_id=tid, points=points, timestamps=timestamps))
+        return TrajectoryDataset(trajectories)
+
+    # ------------------------------------------------------------------ #
+    # storage accounting
+    # ------------------------------------------------------------------ #
+    def compression_ratio(self, coordinate_bytes: int = 8) -> float:
+        """Raw size divided by summary size (higher is better)."""
+        raw_bits = self.num_points * 2 * coordinate_bytes * 8
+        if self.storage_bits <= 0:
+            return float("inf")
+        return raw_bits / self.storage_bits
+
+
+@runtime_checkable
+class TrajectorySummarizer(Protocol):
+    """Protocol implemented by every summarisation method in the harness."""
+
+    def summarize(self, dataset: TrajectoryDataset,
+                  t_max: int | None = None) -> BaselineSummary:
+        """Summarise the dataset and return the reconstruction table."""
+        ...  # pragma: no cover
+
+
+def codeword_budget_for_bits(bits: int) -> int:
+    """Number of codewords corresponding to a ``bits``-bit codeword index."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    return 1 << bits
+
+
+def index_bits_for_codewords(num_codewords: int) -> int:
+    """Bits needed to address one of ``num_codewords`` codewords."""
+    if num_codewords <= 1:
+        return 1
+    return int(np.ceil(np.log2(num_codewords)))

@@ -1,0 +1,188 @@
+"""Line-simplification baselines: Douglas-Peucker and SQUISH.
+
+The paper's related-work section discusses the classic family of trajectory
+compression methods that drop redundant points and keep a sub-sequence of the
+original samples (Douglas-Peucker and the online SQUISH/SQUISH-E family of
+Muckell et al.).  They are not part of the paper's experimental comparison,
+but they are the natural extra baseline a practitioner would reach for, so the
+reproduction ships them as an extension: both produce a
+:class:`~repro.baselines.common.BaselineSummary` whose reconstructions are
+linear interpolations between the retained samples, which makes them directly
+comparable to the quantization methods under the same MAE / compression-ratio
+metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.baselines.common import BaselineSummary
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+
+
+def douglas_peucker_mask(points: np.ndarray, tolerance: float) -> np.ndarray:
+    """Boolean mask of the points kept by Douglas-Peucker simplification.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array of positions.
+    tolerance:
+        Maximum allowed perpendicular deviation of any dropped point from the
+        segment joining its retained neighbours.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    keep = np.zeros(n, dtype=bool)
+    if n == 0:
+        return keep
+    keep[0] = True
+    keep[-1] = True
+    if n <= 2:
+        return keep
+    stack = [(0, n - 1)]
+    while stack:
+        start, end = stack.pop()
+        if end - start < 2:
+            continue
+        segment = points[start:end + 1]
+        distances = _perpendicular_distances(segment[1:-1], points[start], points[end])
+        worst = int(np.argmax(distances))
+        if distances[worst] > tolerance:
+            split = start + 1 + worst
+            keep[split] = True
+            stack.append((start, split))
+            stack.append((split, end))
+    return keep
+
+
+def squish_mask(points: np.ndarray, tolerance: float) -> np.ndarray:
+    """Boolean mask of the points kept by the SQUISH priority-queue algorithm.
+
+    SQUISH removes, one at a time, the point whose removal introduces the
+    smallest synchronised-Euclidean-style error (here: perpendicular deviation
+    from the segment joining its current neighbours), accumulating the removed
+    error onto the neighbours, until removing any further point would exceed
+    ``tolerance``.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    keep = np.ones(n, dtype=bool)
+    if n <= 2:
+        return keep
+    prev = list(range(-1, n - 1))
+    nxt = list(range(1, n + 1))
+    accumulated = np.zeros(n, dtype=float)
+
+    def cost(i: int) -> float:
+        return accumulated[i] + float(
+            _perpendicular_distances(points[i:i + 1], points[prev[i]], points[nxt[i]])[0]
+        )
+
+    heap = [(cost(i), i) for i in range(1, n - 1)]
+    heapq.heapify(heap)
+    removed = np.zeros(n, dtype=bool)
+    while heap:
+        current_cost, i = heapq.heappop(heap)
+        if removed[i]:
+            continue
+        if current_cost != cost(i):
+            heapq.heappush(heap, (cost(i), i))
+            continue
+        if current_cost > tolerance:
+            break
+        removed[i] = True
+        keep[i] = False
+        left, right = prev[i], nxt[i]
+        nxt[left] = right
+        prev[right] = left
+        for neighbour in (left, right):
+            if 0 < neighbour < n - 1 and not removed[neighbour]:
+                accumulated[neighbour] = max(accumulated[neighbour], current_cost)
+                heapq.heappush(heap, (cost(neighbour), neighbour))
+    return keep
+
+
+class LineSimplificationSummarizer:
+    """Summarise a dataset by per-trajectory line simplification.
+
+    Parameters
+    ----------
+    tolerance:
+        Deviation tolerance passed to the simplification algorithm, in
+        coordinate units.
+    algorithm:
+        ``"douglas-peucker"`` (offline, optimal split points) or ``"squish"``
+        (online priority-queue removal).
+    """
+
+    def __init__(self, tolerance: float, algorithm: str = "douglas-peucker") -> None:
+        if tolerance <= 0:
+            raise ValueError("tolerance must be > 0")
+        if algorithm not in ("douglas-peucker", "squish"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.tolerance = float(tolerance)
+        self.algorithm = algorithm
+
+    @property
+    def method_name(self) -> str:
+        return "Douglas-Peucker" if self.algorithm == "douglas-peucker" else "SQUISH"
+
+    def summarize(self, dataset: TrajectoryDataset, t_max: int | None = None) -> BaselineSummary:
+        """Simplify every trajectory and interpolate the dropped points."""
+        summary = BaselineSummary(method=self.method_name)
+        start = time.perf_counter()
+        for traj in dataset:
+            points, timestamps = self._clip(traj, t_max)
+            if len(points) == 0:
+                continue
+            if self.algorithm == "douglas-peucker":
+                keep = douglas_peucker_mask(points, self.tolerance)
+            else:
+                keep = squish_mask(points, self.tolerance)
+            reconstructed = _interpolate(points, keep)
+            for row, t in enumerate(timestamps):
+                summary.reconstructions[(traj.traj_id, int(t))] = reconstructed[row]
+            kept = int(np.count_nonzero(keep))
+            summary.num_points += len(points)
+            # Storage: retained samples as (timestamp, x, y) records.
+            summary.storage_bits += kept * (32 + 2 * 64)
+        summary.build_seconds = time.perf_counter() - start
+        return summary
+
+    @staticmethod
+    def _clip(traj: Trajectory, t_max: int | None) -> tuple[np.ndarray, np.ndarray]:
+        if t_max is None:
+            return traj.points, traj.timestamps
+        mask = traj.timestamps <= t_max
+        return traj.points[mask], traj.timestamps[mask]
+
+
+def _perpendicular_distances(points: np.ndarray, start: np.ndarray, end: np.ndarray) -> np.ndarray:
+    """Distance of each point to the segment ``start``-``end``."""
+    points = np.atleast_2d(points)
+    segment = end - start
+    length_sq = float(segment @ segment)
+    if length_sq == 0.0:
+        return np.linalg.norm(points - start, axis=1)
+    offsets = points - start
+    projection = np.clip(offsets @ segment / length_sq, 0.0, 1.0)
+    nearest = start + projection[:, None] * segment
+    return np.linalg.norm(points - nearest, axis=1)
+
+
+def _interpolate(points: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Linear interpolation of dropped points between retained neighbours."""
+    kept_indices = np.flatnonzero(keep)
+    reconstructed = points.copy()
+    for left, right in zip(kept_indices, kept_indices[1:]):
+        span = right - left
+        if span <= 1:
+            continue
+        for offset in range(1, span):
+            alpha = offset / span
+            reconstructed[left + offset] = (1 - alpha) * points[left] + alpha * points[right]
+    return reconstructed

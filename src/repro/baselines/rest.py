@@ -1,0 +1,221 @@
+"""REST baseline (Zhao et al., KDD 2018): reference-based trajectory compression.
+
+REST compresses a trajectory by expressing it as a concatenation of
+sub-trajectories drawn from a pre-built *reference set*: whenever a run of
+consecutive points matches a reference sub-trajectory within a spatial
+deviation bound, only the reference ID, the start offset and the length are
+stored; points that cannot be matched are kept raw.  Compression quality
+therefore hinges on how repetitive the data is -- the reason the paper
+evaluates REST only on the purpose-built sub-Porto dataset
+(:mod:`repro.data.subporto`).
+
+The implementation uses the trajectory-redundancy-reduction variant the paper
+compares against: greedy longest-match extension over a spatial hash of the
+reference points.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.trajectory import TrajectoryDataset
+
+
+@dataclass
+class _MatchToken:
+    """A run of points matched against the reference set."""
+
+    ref_id: int
+    start: int
+    length: int
+
+
+@dataclass
+class _RawToken:
+    """A single point stored verbatim."""
+
+    point: np.ndarray
+
+
+@dataclass
+class RESTSummary:
+    """Compressed representation produced by :class:`RESTCompressor`.
+
+    Attributes
+    ----------
+    tokens:
+        Mapping trajectory ID -> list of match/raw tokens in trajectory order.
+    storage_bits:
+        Bit cost of the compressed representation (reference set excluded, as
+        in the original paper the reference set is shared infrastructure).
+    num_points:
+        Number of compressed trajectory points.
+    build_seconds:
+        Wall-clock compression time.
+    """
+
+    tokens: dict[int, list] = field(default_factory=dict)
+    storage_bits: int = 0
+    num_points: int = 0
+    build_seconds: float = 0.0
+
+    def compression_ratio(self, coordinate_bytes: int = 8) -> float:
+        """Raw size divided by compressed size."""
+        raw_bits = self.num_points * 2 * coordinate_bytes * 8
+        if self.storage_bits <= 0:
+            return float("inf")
+        return raw_bits / self.storage_bits
+
+    def matched_fraction(self) -> float:
+        """Fraction of points covered by reference matches (diagnostics)."""
+        matched = 0
+        total = 0
+        for tokens in self.tokens.values():
+            for token in tokens:
+                if isinstance(token, _MatchToken):
+                    matched += token.length
+                    total += token.length
+                else:
+                    total += 1
+        return matched / total if total else 0.0
+
+
+class RESTCompressor:
+    """Reference-based compressor.
+
+    Parameters
+    ----------
+    reference_set:
+        Trajectories forming the reference repository.
+    deviation:
+        Maximum allowed per-point deviation between a trajectory point and the
+        reference point it is matched to (the spatial deviation bound of the
+        compression-ratio experiments).
+    min_match_length:
+        Minimum run length worth replacing by a reference token (a token costs
+        three integers, so runs shorter than 2 never pay off).
+    max_match_length:
+        Maximum run length a single token may cover.  REST's reference
+        repository consists of bounded-length *sub-trajectories*, so one token
+        cannot span an arbitrarily long run; the default of 8 points mirrors
+        the sub-trajectory granularity used in the original system.
+    """
+
+    method_name = "REST"
+
+    def __init__(self, reference_set: TrajectoryDataset, deviation: float,
+                 min_match_length: int = 2, max_match_length: int = 8) -> None:
+        if deviation <= 0:
+            raise ValueError("deviation must be > 0")
+        if min_match_length < 1:
+            raise ValueError("min_match_length must be >= 1")
+        if max_match_length < min_match_length:
+            raise ValueError("max_match_length must be >= min_match_length")
+        self.reference_set = reference_set
+        self.deviation = float(deviation)
+        self.min_match_length = int(min_match_length)
+        self.max_match_length = int(max_match_length)
+        self._grid: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        self._build_spatial_hash()
+
+    # ------------------------------------------------------------------ #
+    # reference-set indexing
+    # ------------------------------------------------------------------ #
+    def _build_spatial_hash(self) -> None:
+        """Hash every reference point into a grid of cell size ``deviation``."""
+        for traj in self.reference_set:
+            for idx, point in enumerate(traj.points):
+                cell = self._cell(point)
+                self._grid.setdefault(cell, []).append((traj.traj_id, idx))
+
+    def _cell(self, point: np.ndarray) -> tuple[int, int]:
+        return (int(math.floor(point[0] / self.deviation)),
+                int(math.floor(point[1] / self.deviation)))
+
+    def _candidates(self, point: np.ndarray) -> list[tuple[int, int]]:
+        """Reference positions whose point may lie within the deviation."""
+        cx, cy = self._cell(point)
+        found: list[tuple[int, int]] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                found.extend(self._grid.get((cx + dx, cy + dy), ()))
+        return found
+
+    # ------------------------------------------------------------------ #
+    # compression
+    # ------------------------------------------------------------------ #
+    def compress(self, dataset: TrajectoryDataset) -> RESTSummary:
+        """Compress every trajectory of ``dataset`` against the reference set."""
+        summary = RESTSummary()
+        start = time.perf_counter()
+        for traj in dataset:
+            tokens = self._compress_trajectory(traj.points)
+            summary.tokens[traj.traj_id] = tokens
+            summary.num_points += len(traj.points)
+            summary.storage_bits += self._token_bits(tokens)
+        summary.build_seconds = time.perf_counter() - start
+        return summary
+
+    def _compress_trajectory(self, points: np.ndarray) -> list:
+        tokens: list = []
+        i = 0
+        n = len(points)
+        while i < n:
+            match = self._longest_match(points, i)
+            if match is not None and match.length >= self.min_match_length:
+                tokens.append(match)
+                i += match.length
+            else:
+                tokens.append(_RawToken(point=points[i].copy()))
+                i += 1
+        return tokens
+
+    def _longest_match(self, points: np.ndarray, start: int) -> _MatchToken | None:
+        """Greedy longest run matching a reference sub-trajectory from ``start``."""
+        best: _MatchToken | None = None
+        for ref_id, ref_idx in self._candidates(points[start]):
+            ref_points = self.reference_set.get(ref_id).points
+            length = 0
+            while (length < self.max_match_length
+                   and start + length < len(points)
+                   and ref_idx + length < len(ref_points)
+                   and np.linalg.norm(points[start + length] - ref_points[ref_idx + length])
+                   <= self.deviation):
+                length += 1
+            if length and (best is None or length > best.length):
+                best = _MatchToken(ref_id=ref_id, start=ref_idx, length=length)
+        return best
+
+    @staticmethod
+    def _token_bits(tokens: list) -> int:
+        """Bit cost of a token list: 3x32-bit ints per match, 2x64 per raw point."""
+        bits = 0
+        for token in tokens:
+            if isinstance(token, _MatchToken):
+                bits += 3 * 32
+            else:
+                bits += 2 * 64
+        return bits
+
+    # ------------------------------------------------------------------ #
+    # reconstruction
+    # ------------------------------------------------------------------ #
+    def reconstruct(self, summary: RESTSummary, traj_id: int) -> np.ndarray:
+        """Reconstruct a compressed trajectory from its tokens."""
+        tokens = summary.tokens.get(int(traj_id))
+        if tokens is None:
+            raise KeyError(f"trajectory {traj_id} not in the summary")
+        pieces: list[np.ndarray] = []
+        for token in tokens:
+            if isinstance(token, _MatchToken):
+                ref_points = self.reference_set.get(token.ref_id).points
+                pieces.append(ref_points[token.start:token.start + token.length])
+            else:
+                pieces.append(token.point.reshape(1, 2))
+        if not pieces:
+            return np.empty((0, 2), dtype=float)
+        return np.vstack(pieces)

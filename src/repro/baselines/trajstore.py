@@ -1,0 +1,282 @@
+"""TrajStore baseline (Cudre-Mauroux, Wu & Madden, ICDE 2010).
+
+TrajStore is an adaptive storage system for trajectory data: the space is
+organised by an adaptive quadtree whose cells split when they accumulate too
+many (sub-)trajectory points, and the points of each cell are stored -- and
+compressed -- together.  Following the paper's extended implementation the
+store ingests streaming per-timestamp points, dynamically splitting cells, and
+the per-cell summaries are produced after the spatial index has seen all the
+data (which is exactly the property the paper criticises: summarisation cannot
+start until the index is stable).
+
+Compression within a cell follows the paper's protocol: the cell receives a
+codeword budget proportional to its point count (fixed-bits mode), or grows
+its codebook until a spatial-deviation bound is met (error-bounded mode).
+
+For the disk experiments (Table 9) each quadtree leaf cell maps to a run of
+pages holding all its points (of all timestamps); a spatio-temporal query must
+read every page of the cell containing the query point, which is why
+TrajStore's I/O counts are much higher than TPI's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.common import BaselineSummary, index_bits_for_codewords
+from repro.core.quantizer import kmeans
+from repro.data.trajectory import TrajectoryDataset
+from repro.index.disk import POINT_RECORD_BYTES, PageStore
+from repro.index.rectangles import Rect
+
+
+@dataclass
+class _QuadCell:
+    """One cell of the adaptive quadtree."""
+
+    rect: Rect
+    depth: int
+    # Parallel lists of (traj_id, t) keys and points stored in this cell.
+    keys: list[tuple[int, int]] = field(default_factory=list)
+    points: list[np.ndarray] = field(default_factory=list)
+    children: list["_QuadCell"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def num_points(self) -> int:
+        return len(self.keys)
+
+
+class TrajStore:
+    """Adaptive quadtree store with per-cell compression and page layout.
+
+    Parameters
+    ----------
+    bounds:
+        Overall spatial bounds of the store.
+    cell_capacity:
+        Maximum points a leaf cell holds before it splits.
+    max_depth:
+        Maximum quadtree depth (guards against pathological splitting).
+    page_size_bytes:
+        Simulated page size for the disk experiments.
+    """
+
+    def __init__(self, bounds: Rect, cell_capacity: int = 512, max_depth: int = 12,
+                 page_size_bytes: int = 1 << 20) -> None:
+        if cell_capacity < 1:
+            raise ValueError("cell_capacity must be >= 1")
+        self.root = _QuadCell(rect=bounds, depth=0)
+        self.cell_capacity = int(cell_capacity)
+        self.max_depth = int(max_depth)
+        self.store = PageStore(page_size_bytes=page_size_bytes)
+        self._cell_pages: dict[int, tuple[int, int]] = {}
+        self._num_splits = 0
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    def insert_slice(self, t: int, traj_ids: np.ndarray, points: np.ndarray) -> None:
+        """Insert the points of one timestamp, splitting cells as needed."""
+        traj_ids = np.asarray(traj_ids, dtype=np.int64)
+        points = np.asarray(points, dtype=float)
+        for tid, point in zip(traj_ids, points):
+            self._insert_point(self.root, (int(tid), int(t)), point)
+
+    def _insert_point(self, cell: _QuadCell, key: tuple[int, int], point: np.ndarray) -> None:
+        while not cell.is_leaf:
+            cell = self._child_for(cell, point)
+        cell.keys.append(key)
+        cell.points.append(point)
+        if cell.num_points > self.cell_capacity and cell.depth < self.max_depth:
+            self._split(cell)
+
+    def _child_for(self, cell: _QuadCell, point: np.ndarray) -> _QuadCell:
+        for child in cell.children:
+            if child.rect.contains(point[0], point[1]):
+                return child
+        # Numerical edge: fall back to the nearest child centre.
+        centers = np.asarray([
+            [(c.rect.min_x + c.rect.max_x) / 2.0, (c.rect.min_y + c.rect.max_y) / 2.0]
+            for c in cell.children
+        ])
+        nearest = int(np.argmin(np.linalg.norm(centers - point, axis=1)))
+        return cell.children[nearest]
+
+    def _split(self, cell: _QuadCell) -> None:
+        """Split a leaf into four quadrants and redistribute its points."""
+        rect = cell.rect
+        mid_x = (rect.min_x + rect.max_x) / 2.0
+        mid_y = (rect.min_y + rect.max_y) / 2.0
+        cell.children = [
+            _QuadCell(Rect(rect.min_x, rect.min_y, mid_x, mid_y), cell.depth + 1),
+            _QuadCell(Rect(mid_x, rect.min_y, rect.max_x, mid_y), cell.depth + 1),
+            _QuadCell(Rect(rect.min_x, mid_y, mid_x, rect.max_y), cell.depth + 1),
+            _QuadCell(Rect(mid_x, mid_y, rect.max_x, rect.max_y), cell.depth + 1),
+        ]
+        keys, points = cell.keys, cell.points
+        cell.keys, cell.points = [], []
+        self._num_splits += 1
+        for key, point in zip(keys, points):
+            child = self._child_for(cell, point)
+            child.keys.append(key)
+            child.points.append(point)
+        # A pathological all-identical-points cell could still exceed the
+        # capacity; the depth cap prevents infinite recursion.
+        for child in cell.children:
+            if child.num_points > self.cell_capacity and child.depth < self.max_depth:
+                self._split(child)
+
+    # ------------------------------------------------------------------ #
+    # cell enumeration
+    # ------------------------------------------------------------------ #
+    def leaves(self) -> list[_QuadCell]:
+        """All leaf cells (including empty ones)."""
+        result: list[_QuadCell] = []
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            if cell.is_leaf:
+                result.append(cell)
+            else:
+                stack.extend(cell.children)
+        return result
+
+    def leaf_for(self, x: float, y: float) -> _QuadCell | None:
+        """The leaf cell containing ``(x, y)`` or ``None`` if out of bounds."""
+        if not self.root.rect.contains(x, y):
+            return None
+        cell = self.root
+        while not cell.is_leaf:
+            cell = self._child_for(cell, np.asarray([x, y], dtype=float))
+        return cell
+
+    @property
+    def num_splits(self) -> int:
+        return self._num_splits
+
+    # ------------------------------------------------------------------ #
+    # disk layout and querying (Table 9)
+    # ------------------------------------------------------------------ #
+    def layout_on_pages(self) -> None:
+        """Assign every leaf cell's points to a run of pages."""
+        self._cell_pages.clear()
+        for cell in self.leaves():
+            if cell.num_points == 0:
+                continue
+            payload = cell.num_points * POINT_RECORD_BYTES
+            start_page, num_pages = self.store.write_sequence(payload)
+            self._cell_pages[id(cell)] = (start_page, num_pages)
+
+    def query(self, x: float, y: float, t: int) -> list[int]:
+        """Spatio-temporal lookup with page-I/O accounting.
+
+        The whole cell (all timestamps) must be read; only the trajectory IDs
+        whose stored timestamp matches ``t`` are returned.
+        """
+        cell = self.leaf_for(x, y)
+        if cell is None or cell.num_points == 0:
+            return []
+        location = self._cell_pages.get(id(cell))
+        if location is not None:
+            self.store.read_range(location[0], location[1])
+        return sorted({tid for (tid, ts) in cell.keys if ts == int(t)})
+
+    @property
+    def num_ios(self) -> int:
+        return self.store.reads
+
+    def index_size_megabytes(self) -> float:
+        """Size of the quadtree directory (cells and page pointers)."""
+        num_cells = len(self.leaves())
+        bits = num_cells * (4 * 64 + 2 * 32)
+        return bits / 8.0 / (1 << 20)
+
+
+class TrajStoreSummarizer:
+    """Summarisation protocol wrapper around :class:`TrajStore`.
+
+    Parameters
+    ----------
+    bits:
+        Total per-timestamp codeword budget of ``2^bits`` codewords,
+        distributed over the leaf cells proportionally to their point counts.
+        Mutually exclusive with ``epsilon``.
+    epsilon:
+        Spatial-deviation bound for per-cell codebooks.  Mutually exclusive
+        with ``bits``.
+    cell_capacity:
+        Leaf capacity of the adaptive quadtree.
+    seed:
+        Random seed for per-cell k-means.
+    """
+
+    method_name = "TrajStore"
+
+    def __init__(self, bits: int | None = None, epsilon: float | None = None,
+                 cell_capacity: int = 512, seed: int = 0) -> None:
+        if (bits is None) == (epsilon is None):
+            raise ValueError("specify exactly one of bits or epsilon")
+        self.bits = bits
+        self.epsilon = epsilon
+        self.cell_capacity = cell_capacity
+        self.seed = seed
+
+    def summarize(self, dataset: TrajectoryDataset, t_max: int | None = None) -> BaselineSummary:
+        """Ingest the stream, then compress every leaf cell."""
+        start = time.perf_counter()
+        min_x, min_y, max_x, max_y = dataset.bounding_box()
+        pad = max(max_x - min_x, max_y - min_y) * 1e-6 + 1e-12
+        store = TrajStore(
+            Rect(min_x - pad, min_y - pad, max_x + pad, max_y + pad),
+            cell_capacity=self.cell_capacity,
+        )
+        total_points = 0
+        for slice_ in dataset.iter_time_slices(t_max=t_max):
+            if len(slice_) == 0:
+                continue
+            store.insert_slice(slice_.t, slice_.traj_ids, slice_.points)
+            total_points += len(slice_)
+
+        summary = BaselineSummary(method=self.method_name)
+        summary.num_points = total_points
+        summary.extras["num_cells"] = len(store.leaves())
+        summary.extras["num_splits"] = store.num_splits
+        total_budget = (1 << self.bits) if self.bits is not None else None
+        for cell in store.leaves():
+            if cell.num_points == 0:
+                continue
+            points = np.vstack(cell.points)
+            if total_budget is not None:
+                share = max(1, int(round(total_budget * cell.num_points / total_points)))
+                k = int(min(share, len(points)))
+                centroids, labels = kmeans(points, k, iterations=10, seed=self.seed)
+            else:
+                centroids, labels = self._error_bounded_cell(points)
+            reconstructed = centroids[labels]
+            for key, rec in zip(cell.keys, reconstructed):
+                summary.reconstructions[key] = rec
+            summary.num_codewords += len(centroids)
+            summary.storage_bits += len(centroids) * 2 * 8 * 8
+            summary.storage_bits += len(points) * index_bits_for_codewords(len(centroids))
+        # Quadtree directory overhead.
+        summary.storage_bits += len(store.leaves()) * 4 * 64
+        summary.build_seconds = time.perf_counter() - start
+        return summary
+
+    def _error_bounded_cell(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Grow a per-cell codebook until the deviation bound holds."""
+        k = 1
+        while True:
+            centroids, labels = kmeans(points, int(min(k, len(points))),
+                                       iterations=10, seed=self.seed)
+            errors = np.linalg.norm(points - centroids[labels], axis=1)
+            if np.all(errors <= self.epsilon) or k >= len(points):
+                return centroids, labels
+            k = min(len(points), k * 2)

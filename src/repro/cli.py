@@ -1,0 +1,147 @@
+"""Command-line interface for compressing and querying trajectory repositories.
+
+Two subcommands cover the end-to-end workflow:
+
+``compress``
+    Load a repository (Porto CSV, a GeoLife ``.plt`` directory, or a built-in
+    synthetic workload), build the PPQ-trajectory summary and print the
+    summary statistics (codebook size, compression ratio, MAE).
+
+``query``
+    Compress a repository and answer a spatio-temporal range query and/or a
+    trajectory path query against it.
+
+Examples
+--------
+::
+
+    python -m repro compress --synthetic porto --trajectories 100
+    python -m repro query --synthetic porto --x -8.62 --y 41.16 --t 20 --length 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import CQCConfig, IndexConfig, PPQConfig, PartitionCriterion
+from repro.core.pipeline import PPQTrajectory
+from repro.data.loaders import load_plt_directory, load_porto_csv
+from repro.data.synthetic import generate_geolife_like, generate_porto_like
+from repro.metrics.accuracy import mean_absolute_error
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PPQ-trajectory: compress and query large trajectory repositories",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compress = subparsers.add_parser("compress", help="build a summary and report statistics")
+    _add_dataset_arguments(compress)
+    _add_quantizer_arguments(compress)
+
+    query = subparsers.add_parser("query", help="compress and run a spatio-temporal query")
+    _add_dataset_arguments(query)
+    _add_quantizer_arguments(query)
+    query.add_argument("--x", type=float, required=True, help="query x (longitude)")
+    query.add_argument("--y", type=float, required=True, help="query y (latitude)")
+    query.add_argument("--t", type=int, required=True, help="query timestamp")
+    query.add_argument("--length", type=int, default=0,
+                       help="path length for a TPQ (0 = range query only)")
+    return parser
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--porto-csv", help="path to a Porto taxi challenge CSV")
+    source.add_argument("--geolife-dir", help="path to a GeoLife directory of .plt files")
+    source.add_argument("--synthetic", choices=["porto", "geolife"],
+                        help="use a built-in synthetic workload")
+    parser.add_argument("--trajectories", type=int, default=100,
+                        help="number of trajectories to load / generate")
+    parser.add_argument("--seed", type=int, default=13, help="seed for synthetic workloads")
+
+
+def _add_quantizer_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--variant", choices=["ppq-a", "ppq-s", "epq"], default="ppq-a",
+                        help="quantizer variant (default: ppq-a)")
+    parser.add_argument("--epsilon1", type=float, default=0.001,
+                        help="error bound in coordinate units (default 0.001 ~= 111 m)")
+    parser.add_argument("--grid-meters", type=float, default=50.0,
+                        help="CQC grid size in metres (default 50)")
+    parser.add_argument("--no-cqc", action="store_true", help="disable CQC (basic variant)")
+
+
+def load_dataset(args: argparse.Namespace):
+    """Load the dataset selected by the CLI arguments."""
+    if args.porto_csv:
+        return load_porto_csv(args.porto_csv, max_trajectories=args.trajectories)
+    if args.geolife_dir:
+        return load_plt_directory(args.geolife_dir, max_trajectories=args.trajectories)
+    if args.synthetic == "geolife":
+        return generate_geolife_like(num_trajectories=args.trajectories, seed=args.seed)
+    return generate_porto_like(num_trajectories=args.trajectories, seed=args.seed)
+
+
+def build_system(args: argparse.Namespace) -> PPQTrajectory:
+    """Build the PPQ-trajectory system selected by the CLI arguments."""
+    if args.variant == "ppq-a":
+        criterion, eps_p, variant = PartitionCriterion.AUTOCORRELATION, 0.01, "ppq"
+    elif args.variant == "ppq-s":
+        criterion, eps_p, variant = PartitionCriterion.SPATIAL, 0.1, "ppq"
+    else:
+        criterion, eps_p, variant = PartitionCriterion.SPATIAL, 0.1, "epq"
+    config = PPQConfig(epsilon1=args.epsilon1, epsilon_p=eps_p, criterion=criterion)
+    cqc = CQCConfig.for_grid_meters(args.grid_meters, enabled=not args.no_cqc)
+    return PPQTrajectory(ppq_config=config, cqc_config=cqc,
+                         index_config=IndexConfig(), variant=variant)
+
+
+def run_compress(args: argparse.Namespace, out=None) -> int:
+    """Handle the ``compress`` subcommand."""
+    out = out if out is not None else sys.stdout
+    dataset = load_dataset(args)
+    system = build_system(args)
+    system.fit(dataset, build_index=False)
+    mae = mean_absolute_error(system.summary, dataset)
+    print(f"trajectories        : {len(dataset)}", file=out)
+    print(f"points              : {dataset.num_points}", file=out)
+    print(f"codewords           : {system.num_codewords()}", file=out)
+    print(f"compression ratio   : {system.compression_ratio():.2f}", file=out)
+    print(f"summary MAE (m)     : {mae:.1f}", file=out)
+    print(f"build time (s)      : {system.quantizer.timings['total']:.2f}", file=out)
+    return 0
+
+
+def run_query(args: argparse.Namespace, out=None) -> int:
+    """Handle the ``query`` subcommand."""
+    out = out if out is not None else sys.stdout
+    dataset = load_dataset(args)
+    system = build_system(args)
+    system.fit(dataset)
+    strq = system.strq(args.x, args.y, args.t)
+    print(f"STRQ ({args.x}, {args.y}, t={args.t}) -> {len(strq.candidates)} candidate(s): "
+          f"{strq.candidates}", file=out)
+    if args.length > 0:
+        tpq = system.tpq(args.x, args.y, args.t, length=args.length)
+        for traj_id, path in tpq.paths.items():
+            last = path[-1]
+            print(f"  trajectory {traj_id}: {len(path)} reconstructed points, "
+                  f"ends at ({last[0]:.5f}, {last[1]:.5f})", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "compress":
+        return run_compress(args)
+    return run_query(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Core of the reproduction: the partition-wise predictive quantizer (PPQ).
+
+Modules
+-------
+``config``
+    Dataclasses collecting the paper's tunable parameters with its defaults.
+``codebook``
+    Error-bounded codebook (Definition 3.2) with incremental growth.
+``quantizer``
+    The ``Incremental_Quantizer`` of Algorithm 1: assigns error vectors to
+    codewords and extends the codebook when the bound would be violated.
+``prediction``
+    Linear predictors (Equation 1/2) and AR(k) autocorrelation estimation.
+``partitioning``
+    Spatial / autocorrelation partitioning and the incremental temporal
+    partitioning of Section 3.2.
+``epq``
+    Error-bounded predictive quantization, Algorithm 1 (single partition).
+``ppq``
+    Partition-wise predictive quantization (PPQ-S / PPQ-A), Section 3.2.
+``summary``
+    The summary produced by quantization: prediction coefficients, codebook,
+    codeword indices and optional CQC codes; supports reconstruction.
+``pipeline``
+    ``PPQTrajectory`` -- the public facade tying PPQ + CQC + TPI together.
+"""
+
+from repro.core.config import CQCConfig, IndexConfig, PPQConfig, PartitionCriterion
+from repro.core.codebook import Codebook
+from repro.core.quantizer import IncrementalQuantizer
+from repro.core.prediction import LinearPredictor, estimate_ar_coefficients
+from repro.core.partitioning import IncrementalPartitioner, Partition, partition_points
+from repro.core.epq import ErrorBoundedPredictiveQuantizer
+from repro.core.ppq import PartitionwisePredictiveQuantizer
+from repro.core.summary import TrajectorySummary
+from repro.core.pipeline import PPQTrajectory
+
+__all__ = [
+    "PPQConfig",
+    "CQCConfig",
+    "IndexConfig",
+    "PartitionCriterion",
+    "Codebook",
+    "IncrementalQuantizer",
+    "LinearPredictor",
+    "estimate_ar_coefficients",
+    "Partition",
+    "partition_points",
+    "IncrementalPartitioner",
+    "ErrorBoundedPredictiveQuantizer",
+    "PartitionwisePredictiveQuantizer",
+    "TrajectorySummary",
+    "PPQTrajectory",
+]

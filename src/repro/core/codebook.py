@@ -1,0 +1,136 @@
+"""Error-bounded codebook (Definition 3.2) with incremental growth.
+
+A codebook is a set of 2-D codewords (cluster centroids over prediction
+errors).  It is *error bounded* with threshold ``epsilon1`` when every vector
+assigned to a codeword lies within ``epsilon1`` of it.  The codebook grows
+over time: when newly arriving error vectors cannot be represented within the
+bound, additional codewords are appended (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_points_array
+
+
+class Codebook:
+    """A growable set of 2-D codewords with nearest-codeword search.
+
+    The class keeps codewords in a pre-allocated array that doubles on demand
+    so that appending stays amortised O(1) while nearest-neighbour assignment
+    remains a vectorised NumPy operation.
+    """
+
+    def __init__(self, initial_capacity: int = 64) -> None:
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        self._store = np.empty((initial_capacity, 2), dtype=float)
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def codewords(self) -> np.ndarray:
+        """View of the current codewords, shape ``(len(self), 2)``."""
+        return self._store[: self._size]
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        if not 0 <= index < self._size:
+            raise IndexError(f"codeword index {index} out of range (size {self._size})")
+        return self._store[index]
+
+    # ------------------------------------------------------------------ #
+    # growth
+    # ------------------------------------------------------------------ #
+    def add(self, codeword) -> int:
+        """Append a single codeword and return its index."""
+        codeword = np.asarray(codeword, dtype=float).reshape(2)
+        self._ensure_capacity(self._size + 1)
+        self._store[self._size] = codeword
+        self._size += 1
+        return self._size - 1
+
+    def extend(self, codewords) -> np.ndarray:
+        """Append several codewords; returns their indices."""
+        codewords = ensure_points_array(codewords, name="codewords")
+        if len(codewords) == 0:
+            return np.empty(0, dtype=np.int64)
+        self._ensure_capacity(self._size + len(codewords))
+        start = self._size
+        self._store[start:start + len(codewords)] = codewords
+        self._size += len(codewords)
+        return np.arange(start, self._size, dtype=np.int64)
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= len(self._store):
+            return
+        capacity = len(self._store)
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty((capacity, 2), dtype=float)
+        grown[: self._size] = self._store[: self._size]
+        self._store = grown
+
+    # ------------------------------------------------------------------ #
+    # assignment
+    # ------------------------------------------------------------------ #
+    def assign(self, vectors) -> tuple[np.ndarray, np.ndarray]:
+        """Assign each vector to its nearest codeword.
+
+        Returns
+        -------
+        (indices, distances):
+            ``indices`` is an int array of nearest codeword indices and
+            ``distances`` the corresponding Euclidean distances.  If the
+            codebook is empty, indices are ``-1`` and distances ``inf``.
+        """
+        vectors = ensure_points_array(vectors, name="vectors")
+        n = len(vectors)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=float)
+        if self._size == 0:
+            return np.full(n, -1, dtype=np.int64), np.full(n, np.inf, dtype=float)
+        codewords = self.codewords
+        # (n, V) distance matrix computed blockwise to bound memory usage.
+        block = max(1, int(4_000_000 // max(1, self._size)))
+        indices = np.empty(n, dtype=np.int64)
+        distances = np.empty(n, dtype=float)
+        for start in range(0, n, block):
+            chunk = vectors[start:start + block]
+            diff = chunk[:, None, :] - codewords[None, :, :]
+            dist = np.sqrt(np.sum(diff * diff, axis=2))
+            best = np.argmin(dist, axis=1)
+            indices[start:start + len(chunk)] = best
+            distances[start:start + len(chunk)] = dist[np.arange(len(chunk)), best]
+        return indices, distances
+
+    def reconstruct(self, indices) -> np.ndarray:
+        """Return the codewords selected by ``indices`` (shape ``(n, 2)``)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self._size):
+            raise IndexError("codeword index out of range")
+        return self.codewords[indices]
+
+    # ------------------------------------------------------------------ #
+    # storage accounting
+    # ------------------------------------------------------------------ #
+    def storage_bytes(self, bytes_per_value: int = 8) -> int:
+        """Bytes needed to store the codewords themselves."""
+        return self._size * 2 * bytes_per_value
+
+    def index_bits(self) -> int:
+        """Bits needed to address one codeword of this codebook."""
+        if self._size <= 1:
+            return 1
+        return int(np.ceil(np.log2(self._size)))
+
+    def copy(self) -> "Codebook":
+        """Deep copy of the codebook."""
+        clone = Codebook(initial_capacity=max(64, len(self._store)))
+        clone.extend(self.codewords.copy())
+        return clone

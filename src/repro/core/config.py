@@ -1,0 +1,158 @@
+"""Configuration dataclasses collecting the paper's tunable parameters.
+
+Defaults follow Section 6.1 ("Parameter Settings") of the paper:
+
+* quantization deviation threshold ``eps1 = 0.001`` degrees (about 111 m);
+* partition threshold ``eps_p``: 0.1 (Porto) / 5 (GeoLife) for spatial
+  partitioning and 0.01 for autocorrelation partitioning;
+* index partition threshold ``eps_s = 0.1``;
+* grid cell size ``g_c = 100 m`` for the index, ``g_s = 50 m`` for CQC;
+* TRD dropping-rate threshold ``eps_c = 0.5`` and ADR threshold
+  ``eps_d = 0.5``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.geo import meters_to_degrees
+
+
+class PartitionCriterion(enum.Enum):
+    """Which similarity drives the PPQ partitioning (Section 3.2.1)."""
+
+    #: Spatial proximity (Tobler's first law) -- the PPQ-S variant.
+    SPATIAL = "spatial"
+    #: Lag-k autocorrelation similarity -- the PPQ-A variant.
+    AUTOCORRELATION = "autocorrelation"
+
+
+@dataclass
+class PPQConfig:
+    """Parameters of the partition-wise predictive quantizer.
+
+    Attributes
+    ----------
+    epsilon1:
+        Spatial deviation threshold of the error-bounded codebook, in
+        coordinate units (degrees for geographic data).
+    epsilon_p:
+        Partition threshold: maximum distance of any member to its partition
+        centroid (spatial criterion) or of its AR coefficients to the
+        partition's AR centroid (autocorrelation criterion).
+    criterion:
+        Partitioning criterion (spatial vs autocorrelation).
+    prediction_order:
+        Number ``k`` of previous reconstructed points used by the linear
+        predictor (AR order).
+    max_partitions:
+        Safety cap on the number of partitions ``q``.
+    partition_growth:
+        Number of partitions added per round (``a`` in Lemma 1) when the
+        threshold is violated.
+    kmeans_iterations:
+        Lloyd iterations per partitioning round (``l`` in Lemma 1).
+    max_codewords_per_step:
+        Safety cap on the codewords added per timestamp by the incremental
+        quantizer.
+    use_prediction:
+        If ``False`` the predictor is skipped and raw coordinates are
+        quantized directly (the Q-trajectory ablation).
+    seed:
+        Random seed for k-means initialisation.
+    """
+
+    epsilon1: float = 0.001
+    epsilon_p: float = 0.1
+    criterion: PartitionCriterion = PartitionCriterion.SPATIAL
+    prediction_order: int = 2
+    max_partitions: int = 256
+    partition_growth: int = 2
+    kmeans_iterations: int = 8
+    max_codewords_per_step: int = 4096
+    use_prediction: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epsilon1 <= 0:
+            raise ValueError(f"epsilon1 must be > 0, got {self.epsilon1}")
+        if self.epsilon_p <= 0:
+            raise ValueError(f"epsilon_p must be > 0, got {self.epsilon_p}")
+        if self.prediction_order < 1:
+            raise ValueError("prediction_order must be >= 1")
+        if self.max_partitions < 1:
+            raise ValueError("max_partitions must be >= 1")
+        if isinstance(self.criterion, str):
+            self.criterion = PartitionCriterion(self.criterion)
+
+    @classmethod
+    def for_spatial_deviation_meters(cls, deviation_m: float, **overrides) -> "PPQConfig":
+        """Build a config whose ``epsilon1`` equals ``deviation_m`` metres."""
+        return cls(epsilon1=meters_to_degrees(deviation_m), **overrides)
+
+
+@dataclass
+class CQCConfig:
+    """Parameters of the coordinate quadtree coding (Section 4).
+
+    Attributes
+    ----------
+    grid_size:
+        Cell size ``g_s`` of the CQC grid, in coordinate units.  The paper's
+        default is 50 m.
+    enabled:
+        When ``False`` the quantizer only stores the codeword index
+        (the ``-basic`` variants of the experiments).
+    """
+
+    grid_size: float = field(default_factory=lambda: meters_to_degrees(50.0))
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.grid_size <= 0:
+            raise ValueError(f"grid_size must be > 0, got {self.grid_size}")
+
+    @classmethod
+    def for_grid_meters(cls, grid_m: float, enabled: bool = True) -> "CQCConfig":
+        """Build a config with ``grid_size`` given in metres."""
+        return cls(grid_size=meters_to_degrees(grid_m), enabled=enabled)
+
+
+@dataclass
+class IndexConfig:
+    """Parameters of the partition-based index and its temporal extension.
+
+    Attributes
+    ----------
+    epsilon_s:
+        Partition threshold used when building a PI (Algorithm 3).
+    grid_cell:
+        Grid cell size ``g_c`` of the per-rectangle grid index, in coordinate
+        units (paper default 100 m).
+    epsilon_c:
+        TRD dropping-rate threshold (Equation 14).
+    epsilon_d:
+        ADR threshold deciding re-build vs insertion (Algorithm 4).
+    page_size_bytes:
+        Simulated disk page size for the disk-resident experiments
+        (paper uses 1 MB pages).
+    """
+
+    epsilon_s: float = 0.1
+    grid_cell: float = field(default_factory=lambda: meters_to_degrees(100.0))
+    epsilon_c: float = 0.5
+    epsilon_d: float = 0.5
+    page_size_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.epsilon_s <= 0:
+            raise ValueError("epsilon_s must be > 0")
+        if self.grid_cell <= 0:
+            raise ValueError("grid_cell must be > 0")
+        if not 0 <= self.epsilon_c:
+            raise ValueError("epsilon_c must be >= 0")
+        if not 0 <= self.epsilon_d:
+            raise ValueError("epsilon_d must be >= 0")
+        if self.page_size_bytes <= 0:
+            raise ValueError("page_size_bytes must be > 0")

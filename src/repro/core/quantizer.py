@@ -1,0 +1,152 @@
+"""The incremental error-bounded quantizer of Algorithm 1 (line 6).
+
+Given a batch of 2-D vectors (prediction errors, or raw coordinates for the
+Q-trajectory ablation) and an existing codebook, the quantizer assigns each
+vector to its nearest codeword.  Vectors whose nearest codeword is farther
+than ``epsilon1`` violate the error bound (Equation 3); the quantizer then
+clusters the violating vectors with k-means, appends the resulting centroids
+as new codewords and repeats until every vector is represented within the
+bound.  This is the approximate solution to the non-convex minimal-codebook
+problem that the paper describes for dynamic databases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.codebook import Codebook
+from repro.utils.validation import ensure_points_array
+
+
+class IncrementalQuantizer:
+    """Error-bounded incremental vector quantizer.
+
+    Parameters
+    ----------
+    epsilon:
+        Error bound ``epsilon1``: after :meth:`quantize`, every input vector
+        is within ``epsilon`` of its assigned codeword.
+    kmeans_iterations:
+        Lloyd iterations used when clustering the violating vectors before
+        new codewords are appended.
+    max_new_codewords_per_step:
+        Safety cap on codewords added by a single :meth:`quantize` call.
+        When reached, violating vectors are added verbatim as codewords so
+        the bound still holds.
+    seed:
+        Seed for the k-means initialisation.
+    """
+
+    def __init__(self, epsilon: float, kmeans_iterations: int = 8,
+                 max_new_codewords_per_step: int = 4096, seed: int = 0) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.kmeans_iterations = int(kmeans_iterations)
+        self.max_new_codewords_per_step = int(max_new_codewords_per_step)
+        self._rng = np.random.default_rng(seed)
+
+    def quantize(self, vectors, codebook: Codebook) -> np.ndarray:
+        """Assign ``vectors`` to ``codebook`` codewords within the bound.
+
+        The codebook is mutated in place (codewords are appended as needed).
+        Returns the integer array of assigned codeword indices, one per input
+        vector; the post-condition ``‖v − C[idx]‖ ≤ epsilon`` holds for every
+        vector ``v``.
+        """
+        vectors = ensure_points_array(vectors, name="vectors")
+        n = len(vectors)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+
+        indices, distances = codebook.assign(vectors)
+        violating = distances > self.epsilon
+        added = 0
+        while np.any(violating):
+            pending = vectors[violating]
+            budget = self.max_new_codewords_per_step - added
+            if budget <= 0:
+                # Fall back to exact representation for the stragglers so the
+                # error bound is never violated.
+                new_indices = codebook.extend(pending)
+                indices[np.flatnonzero(violating)] = new_indices
+                break
+            centroids = self._cluster(pending, budget)
+            codebook.extend(centroids)
+            added += len(centroids)
+            sub_indices, sub_distances = codebook.assign(pending)
+            rows = np.flatnonzero(violating)
+            indices[rows] = sub_indices
+            distances[rows] = sub_distances
+            violating = distances > self.epsilon
+        return indices
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _cluster(self, vectors: np.ndarray, budget: int) -> np.ndarray:
+        """Cluster violating vectors into centroids that respect the bound.
+
+        The number of clusters starts from an estimate based on the spread of
+        the vectors relative to ``epsilon`` and doubles until either every
+        vector is within ``epsilon`` of a centroid or the budget is hit;
+        whatever centroids are produced last are returned (the caller loops
+        until the global bound is satisfied, so partial progress is fine).
+        """
+        n = len(vectors)
+        if n == 1:
+            return vectors.copy()
+        spread = float(np.max(np.ptp(vectors, axis=0)))
+        k = max(1, min(n, int(np.ceil(spread / (2.0 * self.epsilon))) ** 2))
+        k = min(k, budget, n)
+        while True:
+            centroids, labels = _kmeans(vectors, k, self.kmeans_iterations, self._rng)
+            dist = np.linalg.norm(vectors - centroids[labels], axis=1)
+            if np.all(dist <= self.epsilon) or k >= min(n, budget):
+                return centroids
+            k = min(min(n, budget), max(k + 1, k * 2))
+
+
+def _kmeans(vectors: np.ndarray, k: int, iterations: int,
+            rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd k-means returning ``(centroids, labels)``.
+
+    Initialisation picks ``k`` distinct input vectors at random (k-means++
+    style spreading is unnecessary here because the caller re-clusters until
+    an error bound is met).  Empty clusters are re-seeded from the farthest
+    points so the requested ``k`` centroids are always produced.
+    """
+    n = len(vectors)
+    k = min(k, n)
+    choice = rng.choice(n, size=k, replace=False)
+    centroids = vectors[choice].copy()
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max(1, iterations)):
+        diff = vectors[:, None, :] - centroids[None, :, :]
+        dist = np.sum(diff * diff, axis=2)
+        labels = np.argmin(dist, axis=1)
+        for j in range(k):
+            members = vectors[labels == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster with the point farthest from its
+                # current centroid to keep k effective clusters.
+                farthest = int(np.argmax(np.min(dist, axis=1)))
+                centroids[j] = vectors[farthest]
+    return centroids, labels
+
+
+def kmeans(vectors, k: int, iterations: int = 10, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Public k-means helper used by baselines and the partitioners.
+
+    Unlike the internal routine this accepts vectors of any dimensionality
+    (the autocorrelation partitioner clusters AR(k) coefficient vectors).
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2 or len(vectors) == 0:
+        raise ValueError("kmeans requires a non-empty (n, d) array")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = np.random.default_rng(seed)
+    return _kmeans(vectors, k, iterations, rng)

@@ -1,0 +1,271 @@
+"""The trajectory summary produced by (partition-wise) predictive quantization.
+
+The summary is exactly the set of parameters the paper lists as sufficient to
+reproduce any trajectory: the per-timestamp, per-partition prediction
+coefficients ``P_j[t]``, the error-bounded codebook ``C``, the per-point
+codeword indices ``b_i^t`` and (optionally) the per-point CQC codes.  The
+reconstructed points themselves are *derivable* from these parameters, but the
+summary also keeps them cached because the online quantizer needs the previous
+``k`` reconstructions anyway and queries reuse them; the cache is excluded
+from storage accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.codebook import Codebook
+from repro.core.config import CQCConfig, PPQConfig
+
+
+@dataclass
+class TimestepRecord:
+    """Everything the summary stores for one timestamp.
+
+    Attributes
+    ----------
+    t:
+        The timestamp.
+    coefficients:
+        Mapping partition ID -> prediction coefficient vector ``P_1..P_k``.
+    partition_of:
+        Mapping trajectory ID -> partition ID at this timestamp.
+    codeword_index:
+        Mapping trajectory ID -> index of the codeword representing the
+        prediction error of this trajectory's point.
+    cqc_codes:
+        Mapping trajectory ID -> CQC bit string (empty when CQC is disabled).
+    """
+
+    t: int
+    coefficients: dict[int, np.ndarray] = field(default_factory=dict)
+    partition_of: dict[int, int] = field(default_factory=dict)
+    codeword_index: dict[int, int] = field(default_factory=dict)
+    cqc_codes: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def num_points(self) -> int:
+        """Number of trajectory points summarised at this timestamp."""
+        return len(self.codeword_index)
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions active at this timestamp."""
+        return len(self.coefficients)
+
+
+@dataclass
+class SummaryStorage:
+    """Bit-exact storage breakdown of a summary (used for compression ratio).
+
+    All fields are in bits; :attr:`total_bits` and :attr:`total_bytes` sum
+    them up.
+    """
+
+    codebook_bits: int = 0
+    codeword_index_bits: int = 0
+    coefficient_bits: int = 0
+    partition_assignment_bits: int = 0
+    cqc_bits: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return (self.codebook_bits + self.codeword_index_bits + self.coefficient_bits
+                + self.partition_assignment_bits + self.cqc_bits)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+
+class TrajectorySummary:
+    """Summary of a trajectory repository built by E-PQ / PPQ.
+
+    Parameters
+    ----------
+    config:
+        The quantizer configuration used to build the summary.
+    cqc_config:
+        CQC configuration; when ``enabled`` is ``False`` codes are not stored.
+    codebook:
+        The shared error-bounded codebook.
+    cqc_coder:
+        The coordinate-quadtree coder used to decode CQC codes (``None`` when
+        CQC is disabled).  Only the fixed template parameters of the coder
+        matter for storage, not per-point state.
+    """
+
+    def __init__(self, config: PPQConfig, cqc_config: CQCConfig,
+                 codebook: Codebook, cqc_coder=None) -> None:
+        self.config = config
+        self.cqc_config = cqc_config
+        self.codebook = codebook
+        self.cqc_coder = cqc_coder
+        self.records: dict[int, TimestepRecord] = {}
+        # Reconstruction cache: traj_id -> {t: reconstructed point (without
+        # CQC refinement)}.  Derivable from the summary, so not charged to
+        # storage.
+        self._reconstructions: dict[int, dict[int, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+    # population (called by the quantizers)
+    # ------------------------------------------------------------------ #
+    def add_record(self, record: TimestepRecord) -> None:
+        """Store the record of one timestamp."""
+        self.records[record.t] = record
+
+    def cache_reconstruction(self, traj_id: int, t: int, point: np.ndarray) -> None:
+        """Cache the ε₁-bounded reconstruction of one point."""
+        self._reconstructions.setdefault(int(traj_id), {})[int(t)] = np.asarray(point, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def timestamps(self) -> list[int]:
+        """Sorted list of summarised timestamps."""
+        return sorted(self.records)
+
+    @property
+    def num_points(self) -> int:
+        """Total number of summarised trajectory points."""
+        return sum(record.num_points for record in self.records.values())
+
+    @property
+    def num_codewords(self) -> int:
+        """Size of the shared codebook."""
+        return len(self.codebook)
+
+    def trajectories_at(self, t: int) -> list[int]:
+        """Trajectory IDs summarised at timestamp ``t``."""
+        record = self.records.get(int(t))
+        return sorted(record.codeword_index) if record else []
+
+    def max_partitions(self) -> int:
+        """Largest number of partitions used at any timestamp."""
+        if not self.records:
+            return 0
+        return max(record.num_partitions for record in self.records.values())
+
+    # ------------------------------------------------------------------ #
+    # reconstruction
+    # ------------------------------------------------------------------ #
+    def reconstruct_point(self, traj_id: int, t: int, use_cqc: bool = True) -> np.ndarray | None:
+        """Reconstruct the position of ``traj_id`` at ``t`` from the summary.
+
+        Returns the CQC-refined point ``(x̂', ŷ')`` when ``use_cqc`` is true
+        and a CQC code was stored, otherwise the ε₁-bounded reconstruction
+        ``(x̂, ŷ)``.  ``None`` when the trajectory was not summarised at ``t``.
+        """
+        base = self._base_reconstruction(int(traj_id), int(t))
+        if base is None:
+            return None
+        if not use_cqc or self.cqc_coder is None:
+            return base
+        record = self.records.get(int(t))
+        if record is None:
+            return base
+        code = record.cqc_codes.get(int(traj_id))
+        if not code:
+            return base
+        offset = self.cqc_coder.decode_offset(code)
+        return base + offset
+
+    def reconstruct_path(self, traj_id: int, t_start: int, length: int,
+                         use_cqc: bool = True) -> np.ndarray:
+        """Reconstruct up to ``length`` consecutive points starting at ``t_start``.
+
+        Missing timestamps terminate the path early; the result has shape
+        ``(m, 2)`` with ``m <= length``.
+        """
+        points = []
+        for t in range(int(t_start), int(t_start) + int(length)):
+            point = self.reconstruct_point(traj_id, t, use_cqc=use_cqc)
+            if point is None:
+                break
+            points.append(point)
+        if not points:
+            return np.empty((0, 2), dtype=float)
+        return np.vstack(points)
+
+    def _base_reconstruction(self, traj_id: int, t: int) -> np.ndarray | None:
+        """The ε₁-bounded reconstruction, from cache or recomputed on demand."""
+        cached = self._reconstructions.get(traj_id, {}).get(t)
+        if cached is not None:
+            return cached
+        record = self.records.get(t)
+        if record is None or traj_id not in record.codeword_index:
+            return None
+        # Recompute: prediction from previous k reconstructions + codeword.
+        order = self.config.prediction_order
+        history = []
+        for lag in range(1, order + 1):
+            prev = self._base_reconstruction(traj_id, t - lag)
+            history.append(prev)
+        partition = record.partition_of.get(traj_id)
+        coefficients = record.coefficients.get(partition)
+        prediction = np.zeros(2, dtype=float)
+        if coefficients is not None:
+            filled = _fill_history(history)
+            if filled is not None:
+                prediction = np.einsum("k,kd->d", coefficients, filled)
+        codeword = np.asarray(self.codebook[record.codeword_index[traj_id]], dtype=float)
+        reconstruction = prediction + codeword
+        self.cache_reconstruction(traj_id, t, reconstruction)
+        return reconstruction
+
+    # ------------------------------------------------------------------ #
+    # storage accounting
+    # ------------------------------------------------------------------ #
+    def storage(self, coordinate_bytes: int = 8, coefficient_bytes: int = 8) -> SummaryStorage:
+        """Bit-exact storage cost of the summary.
+
+        Parameters
+        ----------
+        coordinate_bytes:
+            Bytes per stored coordinate value (codewords).
+        coefficient_bytes:
+            Bytes per stored prediction coefficient.
+        """
+        storage = SummaryStorage()
+        storage.codebook_bits = len(self.codebook) * 2 * coordinate_bytes * 8
+        index_bits = self.codebook.index_bits()
+        for record in self.records.values():
+            storage.codeword_index_bits += record.num_points * index_bits
+            storage.coefficient_bits += (
+                record.num_partitions * self.config.prediction_order * coefficient_bytes * 8
+            )
+            if record.num_partitions > 1:
+                assignment_bits = max(1, int(np.ceil(np.log2(record.num_partitions))))
+                storage.partition_assignment_bits += record.num_points * assignment_bits
+            storage.cqc_bits += sum(len(code) for code in record.cqc_codes.values())
+        return storage
+
+    def compression_ratio(self, coordinate_bytes: int = 8) -> float:
+        """Raw size divided by summary size (higher is better)."""
+        raw_bits = self.num_points * 2 * coordinate_bytes * 8
+        summary_bits = self.storage(coordinate_bytes=coordinate_bytes).total_bits
+        if summary_bits == 0:
+            return float("inf")
+        return raw_bits / summary_bits
+
+
+def _fill_history(history: list[np.ndarray | None]) -> np.ndarray | None:
+    """Pad a lag history (most recent first) so missing lags reuse older ones.
+
+    Mirrors the padding used by the online quantizer: if a lag is missing the
+    nearest available older/newer reconstruction is repeated; if no lag is
+    available at all, ``None`` is returned (prediction falls back to zero).
+    """
+    available = [h for h in history if h is not None]
+    if not available:
+        return None
+    filled = []
+    last = available[0]
+    for entry in history:
+        if entry is not None:
+            last = entry
+        filled.append(last)
+    return np.stack(filled, axis=0)

@@ -1,0 +1,73 @@
+"""Local-search helpers for exact query answering (Section 5.2).
+
+CQC bounds the deviation between a true point and its refined reconstruction
+by ``r = √2/2 · g_s`` (Lemma 3).  When the summary is used as an index, the
+query point's grid cell alone may therefore miss trajectories whose true
+position is near a cell border; the local search widens the candidate space:
+
+* when ``r > g_c`` every index cell intersected by the radius-``r`` disc
+  around the query point must be scanned;
+* when ``r <= g_c`` (the common case, because ``g_s`` is chosen smaller than
+  ``g_c``) scanning the query cell and its adjacent cells and keeping only
+  reconstructions within ``r`` of the query point is sufficient.
+
+These helpers enumerate the cells to scan; the filtering happens in
+:mod:`repro.queries.exact`.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def search_radius(grid_size: float) -> float:
+    """Lemma 3 deviation bound ``√2/2 · g_s`` for a CQC grid size."""
+    return math.sqrt(2.0) / 2.0 * float(grid_size)
+
+
+def neighbor_cells(cell: tuple[int, int], include_center: bool = True) -> list[tuple[int, int]]:
+    """The 3x3 block of cells around ``cell`` (the ``r <= g_c`` case)."""
+    cx, cy = cell
+    cells = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if not include_center and dx == 0 and dy == 0:
+                continue
+            cells.append((cx + dx, cy + dy))
+    return cells
+
+
+def cells_within_radius(point: tuple[float, float], radius: float, origin: tuple[float, float],
+                        cell_size: float) -> list[tuple[int, int]]:
+    """All grid cells intersecting the disc of ``radius`` around ``point``.
+
+    Parameters
+    ----------
+    point:
+        Query location ``(x, y)``.
+    radius:
+        Search radius (``√2/2 · g_s`` for the ``r > g_c`` case).
+    origin:
+        Lower-left corner of the grid.
+    cell_size:
+        Grid cell side length ``g_c``.
+    """
+    if cell_size <= 0:
+        raise ValueError("cell_size must be > 0")
+    px, py = point
+    ox, oy = origin
+    min_ix = math.floor((px - radius - ox) / cell_size)
+    max_ix = math.floor((px + radius - ox) / cell_size)
+    min_iy = math.floor((py - radius - oy) / cell_size)
+    max_iy = math.floor((py + radius - oy) / cell_size)
+    cells = []
+    for ix in range(min_ix, max_ix + 1):
+        for iy in range(min_iy, max_iy + 1):
+            # Keep the cell if its rectangle intersects the disc.
+            cell_min_x = ox + ix * cell_size
+            cell_min_y = oy + iy * cell_size
+            nearest_x = min(max(px, cell_min_x), cell_min_x + cell_size)
+            nearest_y = min(max(py, cell_min_y), cell_min_y + cell_size)
+            if (nearest_x - px) ** 2 + (nearest_y - py) ** 2 <= radius ** 2:
+                cells.append((ix, iy))
+    return cells

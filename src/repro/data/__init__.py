@@ -1,0 +1,30 @@
+"""Trajectory data model, synthetic workload generators and loaders.
+
+The quantizers in :mod:`repro.core` consume a :class:`TrajectoryDataset` --
+a collection of timestamp-aligned trajectories exposing per-timestamp slices
+(the set of points of all trajectories active at time ``t``), which is the
+unit the paper's online algorithms operate on.
+"""
+
+from repro.data.trajectory import Trajectory, TrajectoryDataset, TimeSlice
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_geolife_like,
+    generate_porto_like,
+    generate_dataset,
+)
+from repro.data.loaders import load_plt_directory, load_porto_csv
+from repro.data.subporto import build_sub_porto
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDataset",
+    "TimeSlice",
+    "SyntheticConfig",
+    "generate_porto_like",
+    "generate_geolife_like",
+    "generate_dataset",
+    "load_porto_csv",
+    "load_plt_directory",
+    "build_sub_porto",
+]

@@ -1,0 +1,109 @@
+"""Construction of the sub-Porto dataset used for the REST comparison.
+
+REST (Zhao et al., KDD'18) compresses a trajectory by matching it against a
+reference set of sub-trajectories, so it only performs well when the data
+contains highly repetitive patterns.  Section 6.1 of the paper therefore
+builds a dedicated dataset: base trajectories are sampled from Porto and each
+is expanded into four additional similar trajectories by down-sampling and
+adding noise.  A small fraction of the resulting pool is compressed while the
+remainder is used to build REST's reference set.
+
+:func:`build_sub_porto` reproduces that construction for any input dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+from repro.utils.geo import DEGREE_TO_METERS
+
+
+@dataclass(frozen=True)
+class SubPortoSplit:
+    """Result of the sub-Porto construction.
+
+    Attributes
+    ----------
+    compress_set:
+        Trajectories to be compressed (the query side of the REST experiment).
+    reference_set:
+        Trajectories from which REST builds its reference sub-trajectories.
+    """
+
+    compress_set: TrajectoryDataset
+    reference_set: TrajectoryDataset
+
+
+def build_sub_porto(dataset: TrajectoryDataset,
+                    num_base: int = 200,
+                    variants_per_base: int = 4,
+                    compress_fraction: float = 0.02,
+                    downsample_step: int = 2,
+                    noise_std_m: float = 10.0,
+                    seed: int = 101) -> SubPortoSplit:
+    """Derive a REST-friendly dataset of near-duplicate trajectories.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset (Porto or Porto-like synthetic data).
+    num_base:
+        Number of base trajectories sampled from ``dataset``.
+    variants_per_base:
+        Number of additional similar trajectories derived from each base one
+        (the paper uses four).
+    compress_fraction:
+        Fraction of the resulting pool that becomes the compress set
+        (the paper uses 2 000 out of 100 000 trajectories, i.e. 2 %).
+    downsample_step:
+        Variants keep every ``downsample_step``-th point before noise.
+    noise_std_m:
+        Standard deviation of the additive noise, in metres.
+    seed:
+        Random seed for reproducibility.
+    """
+    if num_base <= 0:
+        raise ValueError("num_base must be positive")
+    if variants_per_base < 0:
+        raise ValueError("variants_per_base must be non-negative")
+    rng = np.random.default_rng(seed)
+    source_ids = dataset.trajectory_ids
+    if not source_ids:
+        raise ValueError("source dataset is empty")
+    chosen = rng.choice(source_ids, size=min(num_base, len(source_ids)), replace=False)
+
+    noise_deg = noise_std_m / DEGREE_TO_METERS
+    pool: list[Trajectory] = []
+    next_id = 0
+    for traj_id in chosen:
+        base = dataset.get(int(traj_id))
+        pool.append(Trajectory(traj_id=next_id, points=base.points.copy()))
+        next_id += 1
+        for _ in range(variants_per_base):
+            variant = _derive_variant(rng, base.points, downsample_step, noise_deg)
+            if len(variant) < 2:
+                continue
+            pool.append(Trajectory(traj_id=next_id, points=variant))
+            next_id += 1
+
+    num_compress = max(1, int(round(len(pool) * compress_fraction)))
+    indices = rng.permutation(len(pool))
+    compress_idx = set(indices[:num_compress].tolist())
+    compress = [traj for i, traj in enumerate(pool) if i in compress_idx]
+    reference = [traj for i, traj in enumerate(pool) if i not in compress_idx]
+    return SubPortoSplit(
+        compress_set=TrajectoryDataset(compress),
+        reference_set=TrajectoryDataset(reference),
+    )
+
+
+def _derive_variant(rng: np.random.Generator, points: np.ndarray,
+                    downsample_step: int, noise_deg: float) -> np.ndarray:
+    """Down-sample a trajectory and perturb it with Gaussian noise."""
+    step = max(1, int(downsample_step))
+    sampled = points[::step].copy()
+    sampled += rng.normal(scale=noise_deg, size=sampled.shape)
+    return sampled

@@ -1,0 +1,212 @@
+"""Partition-based index (PI) for one timestamp -- Algorithm 3 of the paper.
+
+Building a PI for the points of timestamp ``t``:
+
+1. partition the points with the spatial criterion and threshold ``eps_s``
+   (same procedure as PPQ partitioning, Equation 7 with ``eps_s``);
+2. cover each partition with its minimum bounding rectangle;
+3. remove overlaps against previously emitted rectangles, splitting the
+   remainder into disjoint rectangles;
+4. build a grid index (cell ``g_c``) per rectangle and insert every point's
+   trajectory ID into its cell, with delta+Huffman compressed posting lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import IndexConfig
+from repro.core.partitioning import partition_points
+from repro.cqc.local_search import cells_within_radius, neighbor_cells
+from repro.index.grid import GridIndex
+from repro.index.rectangles import Rect, minimum_bounding_rect, remove_overlap
+
+
+@dataclass
+class PartitionIndex:
+    """The PI of one timestamp: a list of disjoint grid-indexed rectangles.
+
+    Attributes
+    ----------
+    t:
+        Timestamp the PI was built for (the earliest one when reused by TPI).
+    grids:
+        One :class:`~repro.index.grid.GridIndex` per disjoint rectangle.
+    config:
+        The index configuration the PI was built with.
+    baseline_density:
+        Rectangle densities at build time; the TPI compares current densities
+        against these to compute the TRD dropping rate.
+    """
+
+    t: int
+    grids: list[GridIndex] = field(default_factory=list)
+    config: IndexConfig = field(default_factory=IndexConfig)
+    baseline_density: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # building / updating
+    # ------------------------------------------------------------------ #
+    def insert(self, traj_ids: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Insert points into the grids that cover them.
+
+        Returns a boolean mask of the points that were covered by at least
+        one rectangle (uncovered points are the ``T_uc`` of Algorithm 4).
+        """
+        traj_ids = np.asarray(traj_ids, dtype=np.int64)
+        points = np.asarray(points, dtype=float)
+        covered = np.zeros(len(points), dtype=bool)
+        for grid in self.grids:
+            inside = grid.rect.contains_points(points) if len(points) else covered
+            if np.any(inside):
+                grid.insert(traj_ids[inside], points[inside])
+                covered |= inside
+        return covered
+
+    def append_grids(self, other: "PartitionIndex") -> None:
+        """Append another PI's rectangles (the *insertion* case of TPI)."""
+        self.grids.extend(other.grids)
+        self.baseline_density.extend(other.baseline_density)
+
+    def extend_with(self, traj_ids: np.ndarray, points: np.ndarray, seed: int = 0) -> int:
+        """Index previously uncovered points by growing the rectangle set.
+
+        This is the *insertion* step of Algorithm 4: the uncovered points are
+        partitioned with the same ``eps_s`` criterion, covered with minimum
+        bounding rectangles, and -- exactly as in Algorithm 3 -- the parts
+        already covered by this PI's existing rectangles are removed so the
+        rectangle set stays disjoint (every point is indexed by exactly one
+        grid).  Returns the number of rectangles added.
+        """
+        traj_ids = np.asarray(traj_ids, dtype=np.int64)
+        points = np.asarray(points, dtype=float)
+        if len(points) == 0:
+            return 0
+        labels, _centroids, _rounds = partition_points(points, self.config.epsilon_s, seed=seed)
+        existing = [grid.rect for grid in self.grids]
+        padding = self.config.grid_cell * 0.5
+        added = 0
+        for label in np.unique(labels):
+            members = points[labels == label]
+            rect = minimum_bounding_rect(members, padding=padding)
+            for piece in remove_overlap(rect, existing):
+                grid = GridIndex(piece, self.config.grid_cell)
+                self.grids.append(grid)
+                existing.append(piece)
+                self.baseline_density.append(0.0)
+                added += 1
+        self.insert(traj_ids, points)
+        # Newly added rectangles take their current density as the baseline.
+        for offset in range(len(self.grids) - added, len(self.grids)):
+            self.baseline_density[offset] = self.grids[offset].density()
+        return added
+
+    def snapshot_density(self) -> None:
+        """Record current rectangle densities as the TRD baseline."""
+        self.baseline_density = [grid.density() for grid in self.grids]
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def covered_mask(self, points: np.ndarray) -> np.ndarray:
+        """Which of ``points`` fall inside any indexed rectangle."""
+        points = np.asarray(points, dtype=float)
+        covered = np.zeros(len(points), dtype=bool)
+        for grid in self.grids:
+            covered |= grid.rect.contains_points(points)
+        return covered
+
+    def lookup(self, x: float, y: float) -> list[int]:
+        """Trajectory IDs whose indexed point shares the grid cell of (x, y)."""
+        result: set[int] = set()
+        for grid in self.grids:
+            if grid.covers(x, y):
+                result.update(grid.lookup(x, y))
+        return sorted(result)
+
+    def lookup_local(self, x: float, y: float, radius: float) -> list[int]:
+        """Local-search lookup (Section 5.2) around ``(x, y)``.
+
+        When ``radius`` exceeds the grid cell size every cell intersecting the
+        disc is scanned; otherwise the query cell and its neighbours are
+        scanned.  Grids whose rectangle lies within ``radius + g_c`` of the
+        query point participate even when the point itself falls just outside
+        them (indexed reconstructions deviate from the true positions by up to
+        the CQC bound).  The caller is responsible for any distance-based
+        filtering of the returned candidates.
+        """
+        result: set[int] = set()
+        for grid in self.grids:
+            slack = max(radius, 0.0) + grid.cell_size
+            if not grid.rect.expanded(slack).contains(x, y):
+                continue
+            if radius > grid.cell_size:
+                cells = cells_within_radius((x, y), radius, (0.0, 0.0), grid.cell_size)
+            else:
+                cells = neighbor_cells(grid.cell_of(x, y))
+            result.update(grid.lookup_cells(cells))
+        return sorted(result)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rectangles(self) -> int:
+        return len(self.grids)
+
+    @property
+    def num_indexed_ids(self) -> int:
+        return sum(grid.num_indexed_ids for grid in self.grids)
+
+    def storage_bits(self) -> int:
+        """Total storage footprint of the PI in bits."""
+        return sum(grid.storage_bits() for grid in self.grids) + 64
+
+    def densities(self) -> list[float]:
+        """Current TRD of each rectangle."""
+        return [grid.density() for grid in self.grids]
+
+
+def build_partition_index(t: int, traj_ids: np.ndarray, points: np.ndarray,
+                          config: IndexConfig, seed: int = 0) -> PartitionIndex:
+    """Build the PI of one timestamp (Algorithm 3).
+
+    Parameters
+    ----------
+    t:
+        Timestamp being indexed.
+    traj_ids, points:
+        Aligned arrays of trajectory IDs and positions at ``t``.
+    config:
+        Index parameters (``epsilon_s``, ``grid_cell``).
+    seed:
+        Random seed for the partitioning step.
+    """
+    traj_ids = np.asarray(traj_ids, dtype=np.int64)
+    points = np.asarray(points, dtype=float)
+    pi = PartitionIndex(t=int(t), config=config)
+    if len(points) == 0:
+        return pi
+
+    labels, _centroids, _rounds = partition_points(
+        points, config.epsilon_s, seed=seed
+    )
+    region_list: list[Rect] = []
+    grids: list[GridIndex] = []
+    # Pad every rectangle by half a grid cell so that degenerate partitions
+    # (a single point) still cover a full cell and nearby points inserted at
+    # later timestamps remain covered.
+    padding = config.grid_cell * 0.5
+    for label in np.unique(labels):
+        members = points[labels == label]
+        rect = minimum_bounding_rect(members, padding=padding)
+        pieces = remove_overlap(rect, region_list)
+        for piece in pieces:
+            region_list.append(piece)
+            grids.append(GridIndex(piece, config.grid_cell))
+    pi.grids = grids
+    pi.insert(traj_ids, points)
+    pi.snapshot_density()
+    return pi

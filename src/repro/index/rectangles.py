@@ -1,0 +1,139 @@
+"""Axis-aligned rectangles and overlap removal for the partition index.
+
+Algorithm 3 of the paper covers each partition of trajectory points with its
+minimum bounding rectangle; when a new rectangle overlaps previously indexed
+ones, the overlapping part is removed and the remaining polygon is split back
+into non-overlapping rectangles (the polygon-to-rectangle conversion of
+Gourley & Green).  We implement the equivalent subtraction directly on
+rectangles: subtracting one rectangle from another yields at most four
+disjoint rectangles, and subtracting a list of rectangles is the repeated
+application of that step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point lies inside (closed boundaries)."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised membership test for an ``(n, 2)`` array."""
+        points = np.asarray(points, dtype=float)
+        return ((points[:, 0] >= self.min_x) & (points[:, 0] <= self.max_x)
+                & (points[:, 1] >= self.min_y) & (points[:, 1] <= self.max_y))
+
+    def expanded(self, margin: float) -> "Rect":
+        """A copy grown by ``margin`` on every side (``margin >= 0``)."""
+        if margin < 0:
+            raise ValueError("margin must be >= 0")
+        return Rect(self.min_x - margin, self.min_y - margin,
+                    self.max_x + margin, self.max_y + margin)
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two rectangles share any area (not just a boundary)."""
+        return (self.min_x < other.max_x and other.min_x < self.max_x
+                and self.min_y < other.max_y and other.min_y < self.max_y)
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or ``None`` when there is no overlap."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            min_x=max(self.min_x, other.min_x),
+            min_y=max(self.min_y, other.min_y),
+            max_x=min(self.max_x, other.max_x),
+            max_y=min(self.max_y, other.max_y),
+        )
+
+    def subtract(self, other: "Rect") -> list["Rect"]:
+        """Rectangles covering ``self`` minus ``other`` (at most four pieces).
+
+        The pieces are pairwise disjoint (up to shared boundaries) and their
+        union equals ``self`` with the interior of ``other`` removed.
+        """
+        overlap = self.intersection(other)
+        if overlap is None:
+            return [self]
+        pieces: list[Rect] = []
+        # Left strip.
+        if self.min_x < overlap.min_x:
+            pieces.append(Rect(self.min_x, self.min_y, overlap.min_x, self.max_y))
+        # Right strip.
+        if overlap.max_x < self.max_x:
+            pieces.append(Rect(overlap.max_x, self.min_y, self.max_x, self.max_y))
+        # Bottom strip (only across the overlapped x range).
+        if self.min_y < overlap.min_y:
+            pieces.append(Rect(overlap.min_x, self.min_y, overlap.max_x, overlap.min_y))
+        # Top strip.
+        if overlap.max_y < self.max_y:
+            pieces.append(Rect(overlap.min_x, overlap.max_y, overlap.max_x, self.max_y))
+        return [p for p in pieces if p.width > 0 and p.height > 0]
+
+
+def minimum_bounding_rect(points: np.ndarray, padding: float = 0.0) -> Rect:
+    """Minimum bounding rectangle of an ``(n, 2)`` point array.
+
+    ``padding`` expands the rectangle symmetrically; Algorithm 3 uses a small
+    padding so that points on the boundary fall strictly inside grid cells.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.size == 0:
+        raise ValueError("cannot bound an empty point set")
+    return Rect(
+        min_x=float(points[:, 0].min()) - padding,
+        min_y=float(points[:, 1].min()) - padding,
+        max_x=float(points[:, 0].max()) + padding,
+        max_y=float(points[:, 1].max()) + padding,
+    )
+
+
+def remove_overlap(rect: Rect, existing: list[Rect]) -> list[Rect]:
+    """Subtract all ``existing`` rectangles from ``rect``.
+
+    Returns a list of pairwise-disjoint rectangles covering exactly the part
+    of ``rect`` not already covered by ``existing`` (the ``remove_overlap``
+    function of Algorithm 3).  The list may be empty when ``rect`` is fully
+    covered.
+    """
+    pieces = [rect]
+    for other in existing:
+        next_pieces: list[Rect] = []
+        for piece in pieces:
+            next_pieces.extend(piece.subtract(other))
+        pieces = next_pieces
+        if not pieces:
+            break
+    return pieces

@@ -1,0 +1,28 @@
+"""Evaluation metrics used by the paper's experiments.
+
+* :mod:`repro.metrics.accuracy` -- MAE of reconstructions, precision/recall of
+  STRQ answers and TPQ path errors.
+* :mod:`repro.metrics.compression` -- compression ratios and codebook-size
+  accounting for summaries of any method.
+* :mod:`repro.metrics.timing` -- a small wall-clock timer used by the
+  benchmark harness.
+"""
+
+from repro.metrics.accuracy import (
+    mean_absolute_error,
+    path_mean_absolute_error,
+    precision_recall,
+    reconstruction_errors,
+)
+from repro.metrics.compression import compression_report, summary_size_bits
+from repro.metrics.timing import Timer
+
+__all__ = [
+    "mean_absolute_error",
+    "reconstruction_errors",
+    "precision_recall",
+    "path_mean_absolute_error",
+    "compression_report",
+    "summary_size_bits",
+    "Timer",
+]

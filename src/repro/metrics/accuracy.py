@@ -1,0 +1,110 @@
+"""Accuracy metrics: MAE, precision/recall and TPQ path errors.
+
+All functions accept any *summary-like* object exposing
+``reconstruct_point(traj_id, t)`` / ``reconstruct_path(traj_id, t, length)``,
+which both :class:`repro.core.summary.TrajectorySummary` and
+:class:`repro.baselines.common.BaselineSummary` do, so PPQ variants and
+baselines are evaluated through identical code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.trajectory import TrajectoryDataset
+from repro.utils.geo import DEGREE_TO_METERS
+
+
+def reconstruction_errors(summary, dataset: TrajectoryDataset,
+                          t_max: int | None = None) -> np.ndarray:
+    """Per-point Euclidean reconstruction errors of a summary over a dataset.
+
+    Points without a reconstruction are skipped (they indicate the summary
+    was built on a truncated time range).
+    """
+    errors: list[float] = []
+    for slice_ in dataset.iter_time_slices(t_max=t_max):
+        for tid, point in zip(slice_.traj_ids, slice_.points):
+            reconstruction = summary.reconstruct_point(int(tid), slice_.t)
+            if reconstruction is None:
+                continue
+            errors.append(float(np.linalg.norm(point - reconstruction)))
+    return np.asarray(errors, dtype=float)
+
+
+def mean_absolute_error(summary, dataset: TrajectoryDataset, t_max: int | None = None,
+                        in_meters: bool = True) -> float:
+    """Mean absolute error of a summary's reconstructions.
+
+    The paper reports MAE in metres; set ``in_meters=False`` to stay in
+    coordinate units.
+    """
+    errors = reconstruction_errors(summary, dataset, t_max=t_max)
+    if len(errors) == 0:
+        return float("nan")
+    mae = float(errors.mean())
+    return mae * DEGREE_TO_METERS if in_meters else mae
+
+
+def precision_recall(retrieved: Iterable[int], relevant: Iterable[int]) -> tuple[float, float]:
+    """Precision and recall of a retrieved ID set against the ground truth.
+
+    Conventions follow the paper's STRQ evaluation: if nothing is relevant and
+    nothing is retrieved both measures are 1; if nothing is relevant but
+    something is retrieved precision is 0 and recall 1.
+    """
+    retrieved_set = set(int(i) for i in retrieved)
+    relevant_set = set(int(i) for i in relevant)
+    if not relevant_set:
+        recall = 1.0
+        precision = 1.0 if not retrieved_set else 0.0
+        return precision, recall
+    if not retrieved_set:
+        return 0.0, 0.0
+    hits = len(retrieved_set & relevant_set)
+    return hits / len(retrieved_set), hits / len(relevant_set)
+
+
+def aggregate_precision_recall(per_query: Sequence[tuple[float, float]]) -> tuple[float, float]:
+    """Average per-query precision/recall pairs."""
+    if not per_query:
+        return float("nan"), float("nan")
+    arr = np.asarray(per_query, dtype=float)
+    return float(arr[:, 0].mean()), float(arr[:, 1].mean())
+
+
+def path_mean_absolute_error(summary, dataset: TrajectoryDataset, queries: Sequence[tuple[int, int]],
+                             length: int, in_meters: bool = True) -> float:
+    """MAE of TPQ sub-trajectory reconstructions.
+
+    Parameters
+    ----------
+    summary:
+        Summary-like object.
+    dataset:
+        Raw trajectories (ground truth).
+    queries:
+        Sequence of ``(traj_id, t_start)`` pairs -- the same IDs are used for
+        every method, as in the paper's Table 3 protocol.
+    length:
+        Path length ``l`` (number of consecutive points).
+    """
+    errors: list[float] = []
+    for traj_id, t_start in queries:
+        reconstruction = summary.reconstruct_path(int(traj_id), int(t_start), int(length))
+        if len(reconstruction) == 0:
+            continue
+        if int(traj_id) not in dataset:
+            continue
+        truth = dataset.get(int(traj_id)).segment(int(t_start), int(t_start) + len(reconstruction) - 1)
+        m = min(len(truth), len(reconstruction))
+        if m == 0:
+            continue
+        deltas = np.linalg.norm(truth[:m] - reconstruction[:m], axis=1)
+        errors.extend(float(d) for d in deltas)
+    if not errors:
+        return float("nan")
+    mae = float(np.mean(errors))
+    return mae * DEGREE_TO_METERS if in_meters else mae

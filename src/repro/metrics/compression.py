@@ -1,0 +1,72 @@
+"""Compression-ratio and codebook-size accounting for summaries of any method."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.summary import TrajectorySummary
+
+
+@dataclass
+class CompressionReport:
+    """Uniform compression statistics for a summary of any method.
+
+    Attributes
+    ----------
+    method:
+        Method name.
+    num_points:
+        Number of summarised trajectory points.
+    num_codewords:
+        Total codewords across the method's codebooks.
+    summary_bits:
+        Storage footprint of the summary in bits.
+    raw_bits:
+        Storage footprint of the raw points (two float64 values per point).
+    """
+
+    method: str
+    num_points: int
+    num_codewords: int
+    summary_bits: int
+    raw_bits: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw size divided by summary size (higher is better)."""
+        if self.summary_bits <= 0:
+            return float("inf")
+        return self.raw_bits / self.summary_bits
+
+    @property
+    def summary_megabytes(self) -> float:
+        return self.summary_bits / 8.0 / (1 << 20)
+
+
+def summary_size_bits(summary) -> int:
+    """Storage footprint in bits of a PPQ or baseline summary."""
+    if isinstance(summary, TrajectorySummary):
+        return summary.storage().total_bits
+    return int(summary.storage_bits)
+
+
+def compression_report(summary, method: str | None = None,
+                       coordinate_bytes: int = 8) -> CompressionReport:
+    """Build a :class:`CompressionReport` for any summary-like object."""
+    if isinstance(summary, TrajectorySummary):
+        num_points = summary.num_points
+        num_codewords = summary.num_codewords
+        bits = summary.storage(coordinate_bytes=coordinate_bytes).total_bits
+        name = method or "PPQ-trajectory"
+    else:
+        num_points = summary.num_points
+        num_codewords = getattr(summary, "num_codewords", 0)
+        bits = int(summary.storage_bits)
+        name = method or getattr(summary, "method", "unknown")
+    return CompressionReport(
+        method=name,
+        num_points=num_points,
+        num_codewords=num_codewords,
+        summary_bits=bits,
+        raw_bits=num_points * 2 * coordinate_bytes * 8,
+    )

@@ -1,0 +1,41 @@
+"""Wall-clock timing helper used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset and start timing again."""
+        self.elapsed = 0.0
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the elapsed seconds."""
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+        return self.elapsed

@@ -1,0 +1,24 @@
+"""Spatio-temporal query processing over quantized trajectories (Section 5.2).
+
+* :mod:`repro.queries.strq` -- spatio-temporal range queries (Definition 5.2).
+* :mod:`repro.queries.tpq` -- trajectory path queries (Definition 5.3).
+* :mod:`repro.queries.exact` -- exact-match filtering with the CQC-driven
+  local-search strategy.
+* :mod:`repro.queries.engine` -- :class:`QueryEngine`, a convenience object
+  tying a summary and a TPI together and exposing all query types.
+"""
+
+from repro.queries.strq import STRQResult, spatio_temporal_range_query
+from repro.queries.tpq import TPQResult, trajectory_path_query
+from repro.queries.exact import ExactQueryResult, exact_match_query
+from repro.queries.engine import QueryEngine
+
+__all__ = [
+    "STRQResult",
+    "spatio_temporal_range_query",
+    "TPQResult",
+    "trajectory_path_query",
+    "ExactQueryResult",
+    "exact_match_query",
+    "QueryEngine",
+]

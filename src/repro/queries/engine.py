@@ -1,0 +1,136 @@
+"""Convenience query engine tying a summary and a TPI together.
+
+The engine is what applications interact with after compressing a repository:
+it owns the summary, builds (or accepts) a TPI over the reconstructed points
+and exposes STRQ / TPQ / exact-match queries with the paper's local-search
+defaults applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import IndexConfig
+from repro.core.summary import TrajectorySummary
+from repro.cqc.local_search import search_radius
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+from repro.index.tpi import TemporalPartitionIndex
+from repro.queries.exact import ExactQueryResult, exact_match_query
+from repro.queries.strq import STRQResult, spatio_temporal_range_query
+from repro.queries.tpq import TPQResult, trajectory_path_query
+
+
+class QueryEngine:
+    """Answer spatio-temporal queries over a quantized trajectory repository.
+
+    Parameters
+    ----------
+    summary:
+        The trajectory summary produced by a quantizer.
+    index_config:
+        Parameters for the TPI built over the summary's reconstructed points.
+    raw_dataset:
+        Optional raw dataset; only needed for exact-match verification.
+    """
+
+    def __init__(self, summary: TrajectorySummary, index_config: IndexConfig | None = None,
+                 raw_dataset: TrajectoryDataset | None = None) -> None:
+        self.summary = summary
+        self.index_config = index_config or IndexConfig()
+        self.raw_dataset = raw_dataset
+        self.index = self._build_index()
+
+    # ------------------------------------------------------------------ #
+    # index construction
+    # ------------------------------------------------------------------ #
+    def _build_index(self) -> TemporalPartitionIndex:
+        """Build a TPI over the summary's reconstructed points."""
+        reconstructed = self._reconstructed_dataset()
+        tpi = TemporalPartitionIndex(self.index_config)
+        tpi.build(reconstructed)
+        return tpi
+
+    def _reconstructed_dataset(self) -> TrajectoryDataset:
+        """Materialise the reconstructed points as a dataset for indexing."""
+        per_traj: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for t in self.summary.timestamps:
+            for tid in self.summary.trajectories_at(t):
+                point = self.summary.reconstruct_point(tid, t)
+                if point is not None:
+                    per_traj.setdefault(tid, []).append((t, point))
+        trajectories = []
+        for tid, entries in per_traj.items():
+            entries.sort(key=lambda item: item[0])
+            timestamps = np.asarray([t for t, _ in entries], dtype=np.int64)
+            points = np.vstack([p for _, p in entries])
+            trajectories.append(Trajectory(traj_id=tid, points=points, timestamps=timestamps))
+        return TrajectoryDataset(trajectories)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def local_search_radius(self) -> float | None:
+        """The ``√2/2 · g_s`` radius, or ``None`` when CQC is disabled."""
+        if self.summary.cqc_coder is None:
+            return None
+        return search_radius(self.summary.cqc_coder.grid_size)
+
+    def strq(self, x: float, y: float, t: int, local_search: bool = True) -> STRQResult:
+        """Spatio-temporal range query (Definition 5.2)."""
+        radius = self.local_search_radius if local_search else None
+        return spatio_temporal_range_query(
+            self.index, x, y, t, summary=self.summary, local_search_radius=radius
+        )
+
+    def tpq(self, x: float, y: float, t: int, length: int,
+            local_search: bool = True) -> TPQResult:
+        """Trajectory path query (Definition 5.3)."""
+        radius = self.local_search_radius if local_search else None
+        return trajectory_path_query(
+            self.index, self.summary, x, y, t, length, local_search_radius=radius
+        )
+
+    def exact(self, x: float, y: float, t: int) -> ExactQueryResult:
+        """Exact-match query; requires the raw dataset for verification."""
+        if self.raw_dataset is None:
+            raise RuntimeError("exact queries require the raw dataset")
+        return exact_match_query(
+            self.index, self.summary, self.raw_dataset, x, y, t,
+            cell_size=self.index_config.grid_cell,
+        )
+
+    def predict_next_positions(self, traj_id: int, t: int, horizon: int = 5) -> np.ndarray:
+        """Forecast future positions of a trajectory from the summary.
+
+        Uses the last stored prediction coefficients of the trajectory's
+        partition and rolls the linear model forward ``horizon`` steps -- the
+        "predicting future positions of entities" analytics task mentioned in
+        the paper's introduction.
+        """
+        order = self.summary.config.prediction_order
+        history = []
+        for lag in range(order):
+            point = self.summary.reconstruct_point(traj_id, t - lag)
+            if point is None:
+                break
+            history.append(point)
+        if not history:
+            return np.empty((0, 2), dtype=float)
+        while len(history) < order:
+            history.append(history[-1])
+        record = self.summary.records.get(int(t))
+        coefficients = None
+        if record is not None:
+            partition = record.partition_of.get(int(traj_id))
+            coefficients = record.coefficients.get(partition)
+        if coefficients is None:
+            coefficients = np.zeros(order, dtype=float)
+            coefficients[0] = 1.0
+        forecast = []
+        window = list(history)
+        for _ in range(horizon):
+            prediction = np.einsum("k,kd->d", coefficients, np.stack(window[:order]))
+            forecast.append(prediction)
+            window.insert(0, prediction)
+        return np.vstack(forecast)

@@ -1,0 +1,42 @@
+"""Shared low-level utilities used across the PPQ-Trajectory reproduction.
+
+The subpackage deliberately contains only dependency-free building blocks:
+
+* :mod:`repro.utils.geo` -- degree/metre conversions and distances used to
+  translate the paper's metre-denominated thresholds into coordinate space.
+* :mod:`repro.utils.bitio` -- bit-level writers/readers used by the ID codec
+  and by CQC when accounting for summary storage cost.
+* :mod:`repro.utils.huffman` -- canonical Huffman coding for compressing
+  delta-encoded trajectory-ID lists inside grid cells.
+* :mod:`repro.utils.validation` -- small argument-validation helpers shared by
+  public API entry points.
+"""
+
+from repro.utils.geo import (
+    DEGREE_TO_METERS,
+    degrees_to_meters,
+    euclidean,
+    haversine_meters,
+    meters_to_degrees,
+)
+from repro.utils.bitio import BitReader, BitWriter
+from repro.utils.huffman import HuffmanCodec
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_positive,
+    ensure_points_array,
+)
+
+__all__ = [
+    "DEGREE_TO_METERS",
+    "degrees_to_meters",
+    "meters_to_degrees",
+    "euclidean",
+    "haversine_meters",
+    "BitReader",
+    "BitWriter",
+    "HuffmanCodec",
+    "ensure_positive",
+    "ensure_in_range",
+    "ensure_points_array",
+]

@@ -1,0 +1,125 @@
+"""Canonical Huffman coding for small integer alphabets.
+
+Section 5.1 of the paper compresses the trajectory-ID lists stored in every
+grid cell with delta encoding followed by Huffman codes.  This module provides
+the Huffman half: it builds an optimal prefix code from symbol frequencies,
+exposes the per-symbol code table (so storage cost can be accounted exactly)
+and supports round-trip encode/decode through :class:`~repro.utils.bitio`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.utils.bitio import BitReader, BitWriter
+
+
+class HuffmanCodec:
+    """Optimal prefix codec built from observed symbol frequencies.
+
+    Parameters
+    ----------
+    frequencies:
+        Mapping from symbol (any hashable, typically a small ``int``) to its
+        occurrence count.  Symbols with zero or negative counts are ignored.
+
+    Notes
+    -----
+    * With a single distinct symbol the code degenerates to one bit per
+      occurrence, which keeps decode unambiguous.
+    * Codes are *canonical*: generated in (length, symbol) order so that a
+      codec can be reconstructed from code lengths alone if needed.
+    """
+
+    def __init__(self, frequencies: dict) -> None:
+        freqs = {sym: int(count) for sym, count in frequencies.items() if count > 0}
+        if not freqs:
+            raise ValueError("HuffmanCodec requires at least one symbol with positive count")
+        self._lengths = _code_lengths(freqs)
+        self._codes = _canonical_codes(self._lengths)
+        self._decode_table = {code: sym for sym, code in self._codes.items()}
+
+    @classmethod
+    def from_symbols(cls, symbols: Iterable) -> "HuffmanCodec":
+        """Build a codec from a raw iterable of symbols."""
+        return cls(Counter(symbols))
+
+    @property
+    def code_table(self) -> dict:
+        """Mapping symbol -> binary code string."""
+        return dict(self._codes)
+
+    def code_for(self, symbol) -> str:
+        """Return the binary code of ``symbol``; raises ``KeyError`` if unknown."""
+        return self._codes[symbol]
+
+    def encoded_bit_length(self, symbols: Sequence) -> int:
+        """Exact number of bits needed to encode ``symbols``."""
+        return sum(len(self._codes[sym]) for sym in symbols)
+
+    def encode(self, symbols: Sequence) -> tuple[bytes, int]:
+        """Encode ``symbols``; returns ``(payload_bytes, bit_length)``."""
+        writer = BitWriter()
+        for sym in symbols:
+            writer.write_code(self._codes[sym])
+        return writer.to_bytes(), writer.bit_length
+
+    def decode(self, payload: bytes, bit_length: int) -> list:
+        """Decode ``bit_length`` bits of ``payload`` back into symbols."""
+        reader = BitReader(payload, bit_length=bit_length)
+        out: list = []
+        buffer = ""
+        while reader.remaining:
+            buffer += "1" if reader.read_bit() else "0"
+            symbol = self._decode_table.get(buffer)
+            if symbol is not None:
+                out.append(symbol)
+                buffer = ""
+        if buffer:
+            raise ValueError("bit stream ended inside a Huffman code")
+        return out
+
+    def table_bit_cost(self, symbol_bits: int = 32, length_bits: int = 5) -> int:
+        """Storage cost of the code table itself, in bits.
+
+        Each table entry stores the symbol (``symbol_bits``) and its code
+        length (``length_bits``); this is what the compression-ratio metric
+        charges for shipping the codec alongside the payload.
+        """
+        return len(self._codes) * (symbol_bits + length_bits)
+
+
+def _code_lengths(freqs: dict) -> dict:
+    """Compute Huffman code lengths per symbol from frequencies."""
+    if len(freqs) == 1:
+        only = next(iter(freqs))
+        return {only: 1}
+    heap: list[tuple[int, int, list]] = []
+    for tie_break, (sym, count) in enumerate(sorted(freqs.items(), key=lambda kv: repr(kv[0]))):
+        heapq.heappush(heap, (count, tie_break, [sym]))
+    lengths = dict.fromkeys(freqs, 0)
+    counter = len(freqs)
+    while len(heap) > 1:
+        count_a, _, syms_a = heapq.heappop(heap)
+        count_b, _, syms_b = heapq.heappop(heap)
+        for sym in syms_a + syms_b:
+            lengths[sym] += 1
+        heapq.heappush(heap, (count_a + count_b, counter, syms_a + syms_b))
+        counter += 1
+    return lengths
+
+
+def _canonical_codes(lengths: dict) -> dict:
+    """Assign canonical prefix codes given per-symbol code lengths."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], repr(kv[0])))
+    codes: dict = {}
+    code = 0
+    prev_length = 0
+    for sym, length in ordered:
+        code <<= length - prev_length
+        codes[sym] = format(code, f"0{length}b")
+        code += 1
+        prev_length = length
+    return codes

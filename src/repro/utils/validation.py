@@ -1,0 +1,39 @@
+"""Small argument-validation helpers shared by public API entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, otherwise raise ``ValueError``."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def ensure_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Return ``value`` if ``low <= value <= high``, otherwise raise."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def ensure_points_array(points, name: str = "points") -> np.ndarray:
+    """Coerce ``points`` into a float array of shape ``(n, 2)``.
+
+    Accepts lists of pairs or arrays; raises ``ValueError`` for anything that
+    cannot be interpreted as two-dimensional coordinates.
+    """
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim == 1:
+        if arr.size == 0:
+            return arr.reshape(0, 2)
+        if arr.size == 2:
+            return arr.reshape(1, 2)
+        raise ValueError(f"{name} must have shape (n, 2), got {arr.shape}")
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"{name} must have shape (n, 2), got {arr.shape}")
+    return arr

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Datasets and summaries that several test modules need are built once per
+session; they are deliberately small so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installing the
+# package (equivalent to `pip install -e .`).
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import CQCConfig, IndexConfig, PPQConfig, PPQTrajectory, PartitionCriterion  # noqa: E402
+from repro.data import generate_geolife_like, generate_porto_like  # noqa: E402
+from repro.data.trajectory import Trajectory, TrajectoryDataset  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def porto_small() -> TrajectoryDataset:
+    """A small Porto-like workload shared across test modules."""
+    return generate_porto_like(num_trajectories=25, max_length=50, seed=5)
+
+
+@pytest.fixture(scope="session")
+def geolife_small() -> TrajectoryDataset:
+    """A small GeoLife-like workload (larger spatial span, mixed speeds)."""
+    return generate_geolife_like(num_trajectories=12, max_length=80, seed=9)
+
+
+@pytest.fixture(scope="session")
+def straight_line_dataset() -> TrajectoryDataset:
+    """Deterministic straight-line trajectories (perfectly predictable)."""
+    trajectories = []
+    for i in range(6):
+        start = np.array([0.01 * i, -0.02 * i])
+        step = np.array([0.001, 0.0005 * (i + 1)])
+        points = start + np.arange(40)[:, None] * step
+        trajectories.append(Trajectory(traj_id=i, points=points))
+    return TrajectoryDataset(trajectories)
+
+
+@pytest.fixture(scope="session")
+def fitted_ppq_s(porto_small) -> PPQTrajectory:
+    """A fitted PPQ-S system (with CQC and index) shared by query tests."""
+    system = PPQTrajectory.ppq_s(cqc_config=CQCConfig(), index_config=IndexConfig())
+    system.fit(porto_small)
+    return system
+
+
+@pytest.fixture(scope="session")
+def fitted_ppq_a(porto_small) -> PPQTrajectory:
+    """A fitted PPQ-A system (autocorrelation partitioning)."""
+    system = PPQTrajectory.ppq_a(cqc_config=CQCConfig(), index_config=IndexConfig())
+    system.fit(porto_small)
+    return system
+
+
+@pytest.fixture()
+def default_ppq_config() -> PPQConfig:
+    return PPQConfig()
+
+
+@pytest.fixture()
+def autocorr_ppq_config() -> PPQConfig:
+    return PPQConfig(criterion=PartitionCriterion.AUTOCORRELATION, epsilon_p=0.01)

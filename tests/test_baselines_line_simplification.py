@@ -1,0 +1,112 @@
+"""Tests for the Douglas-Peucker / SQUISH line-simplification baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.line_simplification import (
+    LineSimplificationSummarizer,
+    douglas_peucker_mask,
+    squish_mask,
+)
+from repro.metrics.accuracy import reconstruction_errors
+
+
+def zigzag(n=30, amplitude=0.01):
+    """A zig-zag trajectory whose corners must be retained."""
+    xs = np.linspace(0.0, 1.0, n)
+    ys = amplitude * (np.arange(n) % 2)
+    return np.column_stack([xs, ys])
+
+
+class TestDouglasPeucker:
+    def test_straight_line_keeps_only_endpoints(self):
+        points = np.column_stack([np.linspace(0, 1, 50), np.linspace(0, 2, 50)])
+        keep = douglas_peucker_mask(points, tolerance=1e-9)
+        assert keep[0] and keep[-1]
+        assert keep.sum() == 2
+
+    def test_zigzag_keeps_corners_for_tight_tolerance(self):
+        points = zigzag()
+        keep = douglas_peucker_mask(points, tolerance=1e-6)
+        assert keep.sum() == len(points)
+
+    def test_loose_tolerance_drops_zigzag(self):
+        points = zigzag(amplitude=0.001)
+        keep = douglas_peucker_mask(points, tolerance=0.1)
+        assert keep.sum() == 2
+
+    def test_short_inputs(self):
+        assert douglas_peucker_mask(np.zeros((0, 2)), 0.1).sum() == 0
+        assert douglas_peucker_mask(np.zeros((1, 2)), 0.1).sum() == 1
+        assert douglas_peucker_mask(np.zeros((2, 2)), 0.1).sum() == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=3, max_value=60), st.floats(min_value=1e-4, max_value=0.1),
+           st.integers(min_value=0, max_value=1000))
+    def test_retained_points_bound_deviation(self, n, tolerance, seed):
+        """Every dropped point lies within the tolerance of the kept polyline."""
+        rng = np.random.default_rng(seed)
+        points = np.cumsum(rng.normal(scale=0.01, size=(n, 2)), axis=0)
+        keep = douglas_peucker_mask(points, tolerance)
+        kept = np.flatnonzero(keep)
+        for left, right in zip(kept, kept[1:]):
+            segment = points[left:right + 1]
+            if len(segment) <= 2:
+                continue
+            from repro.baselines.line_simplification import _perpendicular_distances
+
+            distances = _perpendicular_distances(segment[1:-1], points[left], points[right])
+            assert np.all(distances <= tolerance + 1e-12)
+
+
+class TestSquish:
+    def test_keeps_endpoints(self):
+        points = zigzag()
+        keep = squish_mask(points, tolerance=0.5)
+        assert keep[0] and keep[-1]
+
+    def test_straight_line_reduces_to_endpoints(self):
+        points = np.column_stack([np.linspace(0, 1, 40), np.zeros(40)])
+        keep = squish_mask(points, tolerance=1e-6)
+        assert keep.sum() == 2
+
+    def test_tight_tolerance_keeps_corners(self):
+        points = zigzag(amplitude=0.05)
+        keep = squish_mask(points, tolerance=1e-4)
+        assert keep.sum() > 2
+
+    def test_short_inputs(self):
+        assert squish_mask(np.zeros((2, 2)), 0.1).sum() == 2
+
+
+class TestSummarizer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LineSimplificationSummarizer(tolerance=0.0)
+        with pytest.raises(ValueError):
+            LineSimplificationSummarizer(tolerance=0.1, algorithm="nope")
+
+    @pytest.mark.parametrize("algorithm", ["douglas-peucker", "squish"])
+    def test_every_point_reconstructed(self, porto_small, algorithm):
+        summarizer = LineSimplificationSummarizer(tolerance=0.0005, algorithm=algorithm)
+        summary = summarizer.summarize(porto_small, t_max=20)
+        truncated = porto_small.truncate(20)
+        assert summary.num_points == truncated.num_points
+        assert len(summary.reconstructions) == truncated.num_points
+        assert summary.method in ("Douglas-Peucker", "SQUISH")
+
+    def test_interpolated_error_is_reasonable(self, porto_small):
+        summarizer = LineSimplificationSummarizer(tolerance=0.0002)
+        summary = summarizer.summarize(porto_small, t_max=30)
+        errors = reconstruction_errors(summary, porto_small, t_max=30)
+        # Douglas-Peucker bounds the perpendicular deviation; interpolation at
+        # the original timestamps stays within a small multiple of it on the
+        # smooth synthetic workload.
+        assert float(np.median(errors)) < 0.002
+
+    def test_tighter_tolerance_keeps_more_and_compresses_less(self, porto_small):
+        tight = LineSimplificationSummarizer(tolerance=0.00005).summarize(porto_small, t_max=30)
+        loose = LineSimplificationSummarizer(tolerance=0.002).summarize(porto_small, t_max=30)
+        assert tight.storage_bits > loose.storage_bits
+        assert tight.compression_ratio() < loose.compression_ratio()

@@ -1,0 +1,148 @@
+"""Tests for the PQ / RQ / Q-trajectory baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    BaselineSummary,
+    codeword_budget_for_bits,
+    index_bits_for_codewords,
+)
+from repro.baselines.product_quantization import ProductQuantizationSummarizer, _kmeans_1d
+from repro.baselines.q_trajectory import QTrajectorySummarizer
+from repro.baselines.residual_quantization import ResidualQuantizationSummarizer
+from repro.metrics.accuracy import mean_absolute_error, reconstruction_errors
+
+
+class TestCommonHelpers:
+    def test_codeword_budget(self):
+        assert codeword_budget_for_bits(5) == 32
+        with pytest.raises(ValueError):
+            codeword_budget_for_bits(0)
+
+    def test_index_bits(self):
+        assert index_bits_for_codewords(1) == 1
+        assert index_bits_for_codewords(2) == 1
+        assert index_bits_for_codewords(5) == 3
+
+    def test_baseline_summary_reconstruction_interface(self):
+        summary = BaselineSummary(method="test")
+        summary.reconstructions[(1, 0)] = np.array([0.0, 0.0])
+        summary.reconstructions[(1, 1)] = np.array([1.0, 1.0])
+        assert summary.reconstruct_point(1, 0) is not None
+        assert summary.reconstruct_point(2, 0) is None
+        path = summary.reconstruct_path(1, 0, 5)
+        assert len(path) == 2  # stops at the first missing timestamp
+
+    def test_baseline_summary_to_dataset(self):
+        summary = BaselineSummary(method="test")
+        summary.reconstructions[(3, 0)] = np.array([0.0, 0.0])
+        summary.reconstructions[(3, 1)] = np.array([1.0, 1.0])
+        dataset = summary.to_dataset()
+        assert len(dataset) == 1
+        assert len(dataset.get(3)) == 2
+
+    def test_compression_ratio(self):
+        summary = BaselineSummary(method="test", num_points=10, storage_bits=160)
+        assert summary.compression_ratio() == pytest.approx(10 * 128 / 160)
+        empty = BaselineSummary(method="test")
+        assert empty.compression_ratio() == float("inf")
+
+
+class TestProductQuantization:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            ProductQuantizationSummarizer()
+        with pytest.raises(ValueError):
+            ProductQuantizationSummarizer(bits=8, epsilon=0.1)
+        with pytest.raises(ValueError):
+            ProductQuantizationSummarizer(bits=1)
+        with pytest.raises(ValueError):
+            ProductQuantizationSummarizer(epsilon=-1.0)
+
+    def test_every_point_reconstructed(self, porto_small):
+        summary = ProductQuantizationSummarizer(bits=6).summarize(porto_small, t_max=10)
+        truncated = porto_small.truncate(10)
+        assert summary.num_points == truncated.num_points
+        assert len(summary.reconstructions) == truncated.num_points
+
+    def test_epsilon_mode_respects_bound(self, porto_small):
+        eps = 0.01
+        summary = ProductQuantizationSummarizer(epsilon=eps).summarize(porto_small, t_max=5)
+        errors = reconstruction_errors(summary, porto_small, t_max=5)
+        assert np.max(errors) <= eps + 1e-9
+
+    def test_more_bits_means_lower_mae(self, porto_small):
+        low = ProductQuantizationSummarizer(bits=2).summarize(porto_small, t_max=8)
+        high = ProductQuantizationSummarizer(bits=8).summarize(porto_small, t_max=8)
+        assert (mean_absolute_error(high, porto_small, t_max=8)
+                <= mean_absolute_error(low, porto_small, t_max=8))
+
+    def test_kmeans_1d(self):
+        values = np.concatenate([np.zeros(10), np.ones(10) * 5.0])
+        centroids, labels = _kmeans_1d(values, 2)
+        assert len(centroids) == 2
+        assert labels[0] != labels[-1]
+        centroids_single, labels_single = _kmeans_1d(values, 1)
+        assert len(centroids_single) == 1
+
+
+class TestResidualQuantization:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            ResidualQuantizationSummarizer()
+        with pytest.raises(ValueError):
+            ResidualQuantizationSummarizer(bits=8, stages=0)
+        with pytest.raises(ValueError):
+            ResidualQuantizationSummarizer(bits=1, stages=2)
+
+    def test_epsilon_mode_respects_bound(self, porto_small):
+        eps = 0.01
+        summary = ResidualQuantizationSummarizer(epsilon=eps).summarize(porto_small, t_max=5)
+        errors = reconstruction_errors(summary, porto_small, t_max=5)
+        assert np.max(errors) <= eps + 1e-9
+
+    def test_second_stage_improves_over_first(self, porto_small):
+        one_stage = ResidualQuantizationSummarizer(bits=4, stages=1).summarize(porto_small, t_max=8)
+        two_stage = ResidualQuantizationSummarizer(bits=8, stages=2).summarize(porto_small, t_max=8)
+        assert (mean_absolute_error(two_stage, porto_small, t_max=8)
+                <= mean_absolute_error(one_stage, porto_small, t_max=8))
+
+    def test_storage_accounting_positive(self, porto_small):
+        summary = ResidualQuantizationSummarizer(bits=6).summarize(porto_small, t_max=5)
+        assert summary.storage_bits > 0
+        assert summary.num_codewords > 0
+
+
+class TestQTrajectory:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            QTrajectorySummarizer()
+        with pytest.raises(ValueError):
+            QTrajectorySummarizer(bits=0)
+
+    def test_epsilon_mode_respects_bound(self, porto_small):
+        eps = 0.005
+        summary = QTrajectorySummarizer(epsilon=eps).summarize(porto_small, t_max=10)
+        errors = reconstruction_errors(summary, porto_small, t_max=10)
+        assert np.max(errors) <= eps + 1e-9
+
+    def test_needs_more_codewords_than_ppq(self, porto_small):
+        """Without prediction, the codebook must tile raw space -- it ends up
+        larger than the predictive codebook at the same bound (the paper's
+        central ablation)."""
+        from repro.core.config import CQCConfig, PPQConfig
+        from repro.core.ppq import PartitionwisePredictiveQuantizer
+
+        eps = 0.001
+        q_summary = QTrajectorySummarizer(epsilon=eps).summarize(porto_small)
+        ppq_summary = PartitionwisePredictiveQuantizer(
+            PPQConfig(epsilon1=eps), CQCConfig(enabled=False)
+        ).summarize(porto_small)
+        assert q_summary.num_codewords > ppq_summary.num_codewords
+
+    def test_fixed_bits_mode(self, porto_small):
+        summary = QTrajectorySummarizer(bits=4).summarize(porto_small, t_max=6)
+        truncated = porto_small.truncate(6)
+        assert summary.num_points == truncated.num_points
+        assert summary.num_codewords > 0

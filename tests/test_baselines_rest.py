@@ -1,0 +1,101 @@
+"""Tests for the REST reference-based compression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rest import RESTCompressor, _MatchToken, _RawToken
+from repro.data.subporto import build_sub_porto
+from repro.data.synthetic import generate_porto_like
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def subporto_split():
+    source = generate_porto_like(num_trajectories=15, max_length=60, seed=41)
+    return build_sub_porto(source, num_base=10, variants_per_base=3,
+                           compress_fraction=0.1, noise_std_m=5.0, seed=4)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        ref = TrajectoryDataset([Trajectory(0, np.zeros((5, 2)))])
+        with pytest.raises(ValueError):
+            RESTCompressor(ref, deviation=0.0)
+        with pytest.raises(ValueError):
+            RESTCompressor(ref, deviation=0.1, min_match_length=0)
+        with pytest.raises(ValueError):
+            RESTCompressor(ref, deviation=0.1, min_match_length=4, max_match_length=2)
+
+
+class TestCompression:
+    def test_identical_trajectory_compresses_to_one_token(self):
+        points = np.cumsum(np.ones((20, 2)) * 0.001, axis=0)
+        reference = TrajectoryDataset([Trajectory(0, points)])
+        compressor = RESTCompressor(reference, deviation=0.0005, max_match_length=32)
+        target = TrajectoryDataset([Trajectory(1, points.copy())])
+        summary = compressor.compress(target)
+        tokens = summary.tokens[1]
+        assert len(tokens) == 1
+        assert isinstance(tokens[0], _MatchToken)
+        assert tokens[0].length == 20
+        assert summary.matched_fraction() == 1.0
+
+    def test_max_match_length_caps_tokens(self):
+        points = np.cumsum(np.ones((20, 2)) * 0.001, axis=0)
+        reference = TrajectoryDataset([Trajectory(0, points)])
+        compressor = RESTCompressor(reference, deviation=0.0005, max_match_length=5)
+        summary = compressor.compress(TrajectoryDataset([Trajectory(1, points.copy())]))
+        tokens = summary.tokens[1]
+        assert all(tok.length <= 5 for tok in tokens if isinstance(tok, _MatchToken))
+        assert len(tokens) >= 4  # 20 points / 5 per token
+        # Reconstruction is still exact.
+        np.testing.assert_allclose(compressor.reconstruct(summary, 1), points)
+
+    def test_unmatchable_trajectory_stays_raw(self):
+        reference = TrajectoryDataset([Trajectory(0, np.zeros((10, 2)))])
+        compressor = RESTCompressor(reference, deviation=0.0001)
+        far_away = np.ones((8, 2)) * 100.0
+        summary = compressor.compress(TrajectoryDataset([Trajectory(1, far_away)]))
+        assert all(isinstance(tok, _RawToken) for tok in summary.tokens[1])
+        assert summary.compression_ratio() <= 1.0
+
+    def test_reconstruction_within_deviation(self, subporto_split):
+        deviation = 100.0 / 111_000.0
+        compressor = RESTCompressor(subporto_split.reference_set, deviation=deviation)
+        summary = compressor.compress(subporto_split.compress_set)
+        for traj in subporto_split.compress_set:
+            reconstruction = compressor.reconstruct(summary, traj.traj_id)
+            assert len(reconstruction) == len(traj.points)
+            errors = np.linalg.norm(reconstruction - traj.points, axis=1)
+            assert np.max(errors) <= deviation + 1e-12
+
+    def test_repetitive_data_compresses_better_than_random(self, subporto_split):
+        deviation = 200.0 / 111_000.0
+        compressor = RESTCompressor(subporto_split.reference_set, deviation=deviation)
+        good = compressor.compress(subporto_split.compress_set)
+
+        rng = np.random.default_rng(0)
+        random_traj = TrajectoryDataset([
+            Trajectory(0, rng.uniform(-10, 10, size=(50, 2)))
+        ])
+        bad = compressor.compress(random_traj)
+        assert good.compression_ratio() > bad.compression_ratio()
+
+    def test_larger_deviation_does_not_reduce_ratio(self, subporto_split):
+        tight = RESTCompressor(subporto_split.reference_set, deviation=20.0 / 111_000.0)
+        loose = RESTCompressor(subporto_split.reference_set, deviation=400.0 / 111_000.0)
+        ratio_tight = tight.compress(subporto_split.compress_set).compression_ratio()
+        ratio_loose = loose.compress(subporto_split.compress_set).compression_ratio()
+        assert ratio_loose >= ratio_tight
+
+    def test_reconstruct_unknown_trajectory_raises(self, subporto_split):
+        compressor = RESTCompressor(subporto_split.reference_set, deviation=0.001)
+        summary = compressor.compress(subporto_split.compress_set)
+        with pytest.raises(KeyError):
+            compressor.reconstruct(summary, 10_000)
+
+    def test_storage_accounting(self, subporto_split):
+        compressor = RESTCompressor(subporto_split.reference_set, deviation=0.001)
+        summary = compressor.compress(subporto_split.compress_set)
+        assert summary.storage_bits > 0
+        assert summary.num_points == subporto_split.compress_set.num_points

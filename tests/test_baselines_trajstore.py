@@ -1,0 +1,96 @@
+"""Tests for the TrajStore baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trajstore import TrajStore, TrajStoreSummarizer
+from repro.index.rectangles import Rect
+from repro.metrics.accuracy import reconstruction_errors
+
+
+@pytest.fixture()
+def store():
+    return TrajStore(Rect(0.0, 0.0, 10.0, 10.0), cell_capacity=8, page_size_bytes=256)
+
+
+class TestAdaptiveQuadtree:
+    def test_cells_split_when_capacity_exceeded(self, store):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 10, size=(100, 2))
+        store.insert_slice(0, np.arange(100), points)
+        assert store.num_splits >= 1
+        leaves = store.leaves()
+        assert all(leaf.num_points <= 8 or leaf.depth >= store.max_depth for leaf in leaves)
+
+    def test_all_points_stored(self, store):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 10, size=(60, 2))
+        store.insert_slice(0, np.arange(60), points)
+        stored = sum(leaf.num_points for leaf in store.leaves())
+        assert stored == 60
+
+    def test_leaf_for_locates_point(self, store):
+        points = np.array([[1.0, 1.0], [9.0, 9.0]])
+        store.insert_slice(0, np.array([1, 2]), points)
+        leaf = store.leaf_for(1.0, 1.0)
+        assert leaf is not None
+        assert (1, 0) in leaf.keys
+
+    def test_leaf_for_out_of_bounds(self, store):
+        assert store.leaf_for(100.0, 100.0) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TrajStore(Rect(0, 0, 1, 1), cell_capacity=0)
+
+
+class TestDiskLayoutAndQuery:
+    def test_query_counts_ios_and_filters_by_time(self, store):
+        rng = np.random.default_rng(2)
+        for t in range(5):
+            points = rng.uniform(0, 10, size=(20, 2))
+            store.insert_slice(t, np.arange(20), points)
+        store.layout_on_pages()
+        leaf = store.leaves()[0]
+        # Query any point of a non-empty leaf.
+        non_empty = next(c for c in store.leaves() if c.num_points)
+        x, y = non_empty.points[0]
+        t = non_empty.keys[0][1]
+        result = store.query(x, y, t)
+        assert non_empty.keys[0][0] in result
+        assert store.num_ios >= 1
+
+    def test_query_empty_cell(self, store):
+        store.layout_on_pages()
+        assert store.query(5.0, 5.0, 0) == []
+
+    def test_index_size(self, store):
+        rng = np.random.default_rng(3)
+        store.insert_slice(0, np.arange(30), rng.uniform(0, 10, size=(30, 2)))
+        assert store.index_size_megabytes() > 0.0
+
+
+class TestTrajStoreSummarizer:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            TrajStoreSummarizer()
+        with pytest.raises(ValueError):
+            TrajStoreSummarizer(bits=6, epsilon=0.1)
+
+    def test_every_point_reconstructed(self, porto_small):
+        summary = TrajStoreSummarizer(bits=6, cell_capacity=64).summarize(porto_small, t_max=10)
+        truncated = porto_small.truncate(10)
+        assert summary.num_points == truncated.num_points
+        assert len(summary.reconstructions) == truncated.num_points
+        assert summary.extras["num_cells"] >= 1
+
+    def test_epsilon_mode_respects_bound(self, porto_small):
+        eps = 0.01
+        summary = TrajStoreSummarizer(epsilon=eps, cell_capacity=64).summarize(porto_small, t_max=5)
+        errors = reconstruction_errors(summary, porto_small, t_max=5)
+        assert np.max(errors) <= eps + 1e-9
+
+    def test_budget_distributed_by_cell_population(self, porto_small):
+        summary = TrajStoreSummarizer(bits=5, cell_capacity=32).summarize(porto_small, t_max=8)
+        assert summary.num_codewords > 0
+        assert summary.storage_bits > 0

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, build_system, load_dataset, main, run_compress, run_query
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_requires_dataset_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress"])
+
+    def test_synthetic_defaults(self):
+        args = build_parser().parse_args(["compress", "--synthetic", "porto"])
+        assert args.synthetic == "porto"
+        assert args.variant == "ppq-a"
+        assert args.trajectories == 100
+
+    def test_query_requires_coordinates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--synthetic", "porto"])
+
+
+class TestBuilders:
+    def test_load_synthetic_dataset(self):
+        args = build_parser().parse_args(
+            ["compress", "--synthetic", "porto", "--trajectories", "5"]
+        )
+        dataset = load_dataset(args)
+        assert len(dataset) == 5
+
+    def test_build_system_variants(self):
+        for variant, expected in [("ppq-a", "ppq"), ("ppq-s", "ppq"), ("epq", "epq")]:
+            args = build_parser().parse_args(
+                ["compress", "--synthetic", "porto", "--variant", variant]
+            )
+            system = build_system(args)
+            assert system.variant == expected
+
+    def test_no_cqc_flag(self):
+        args = build_parser().parse_args(
+            ["compress", "--synthetic", "porto", "--no-cqc"]
+        )
+        system = build_system(args)
+        assert not system.cqc_config.enabled
+
+
+class TestCommands:
+    def test_compress_prints_statistics(self):
+        out = io.StringIO()
+        args = build_parser().parse_args(
+            ["compress", "--synthetic", "porto", "--trajectories", "8", "--seed", "3"]
+        )
+        assert run_compress(args, out=out) == 0
+        text = out.getvalue()
+        assert "codewords" in text
+        assert "compression ratio" in text
+
+    def test_query_finds_known_trajectory(self):
+        args = build_parser().parse_args(
+            ["query", "--synthetic", "porto", "--trajectories", "8", "--seed", "3",
+             "--x", "0", "--y", "0", "--t", "5", "--length", "4"]
+        )
+        # Use the actual position of trajectory 0 at t=5 as the query point.
+        dataset = load_dataset(args)
+        point = dataset.get(0).points[5]
+        args.x, args.y = float(point[0]), float(point[1])
+        out = io.StringIO()
+        assert run_query(args, out=out) == 0
+        assert "STRQ" in out.getvalue()
+
+    def test_main_dispatch(self, capsys):
+        code = main(["compress", "--synthetic", "porto", "--trajectories", "5", "--seed", "1"])
+        assert code == 0
+        assert "points" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Tests for the growable error-bounded codebook."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.codebook import Codebook
+
+
+class TestGrowth:
+    def test_starts_empty(self):
+        cb = Codebook()
+        assert len(cb) == 0
+
+    def test_add_returns_index(self):
+        cb = Codebook()
+        assert cb.add([1.0, 2.0]) == 0
+        assert cb.add([3.0, 4.0]) == 1
+        np.testing.assert_array_equal(cb[1], [3.0, 4.0])
+
+    def test_extend(self):
+        cb = Codebook()
+        indices = cb.extend(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]))
+        np.testing.assert_array_equal(indices, [0, 1, 2])
+        assert len(cb) == 3
+
+    def test_extend_empty_is_noop(self):
+        cb = Codebook()
+        assert len(cb.extend(np.empty((0, 2)))) == 0
+
+    def test_capacity_doubling_preserves_contents(self):
+        cb = Codebook(initial_capacity=2)
+        points = np.random.default_rng(0).normal(size=(50, 2))
+        cb.extend(points)
+        np.testing.assert_allclose(cb.codewords, points)
+
+    def test_index_out_of_range(self):
+        cb = Codebook()
+        cb.add([0.0, 0.0])
+        with pytest.raises(IndexError):
+            _ = cb[1]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Codebook(initial_capacity=0)
+
+
+class TestAssignment:
+    def test_assign_empty_codebook(self):
+        cb = Codebook()
+        indices, distances = cb.assign(np.array([[0.0, 0.0]]))
+        assert indices[0] == -1
+        assert np.isinf(distances[0])
+
+    def test_assign_nearest(self):
+        cb = Codebook()
+        cb.extend(np.array([[0.0, 0.0], [10.0, 10.0]]))
+        indices, distances = cb.assign(np.array([[1.0, 1.0], [9.0, 9.0]]))
+        np.testing.assert_array_equal(indices, [0, 1])
+        assert distances[0] == pytest.approx(np.sqrt(2.0))
+
+    def test_assign_empty_vectors(self):
+        cb = Codebook()
+        cb.add([0.0, 0.0])
+        indices, distances = cb.assign(np.empty((0, 2)))
+        assert len(indices) == 0
+        assert len(distances) == 0
+
+    def test_reconstruct(self):
+        cb = Codebook()
+        cb.extend(np.array([[0.0, 0.0], [5.0, 5.0]]))
+        recon = cb.reconstruct(np.array([1, 0, 1]))
+        np.testing.assert_array_equal(recon, [[5.0, 5.0], [0.0, 0.0], [5.0, 5.0]])
+
+    def test_reconstruct_rejects_bad_index(self):
+        cb = Codebook()
+        cb.add([0.0, 0.0])
+        with pytest.raises(IndexError):
+            cb.reconstruct([3])
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=60))
+    def test_assignment_is_truly_nearest(self, num_codewords, num_vectors):
+        rng = np.random.default_rng(num_codewords * 100 + num_vectors)
+        cb = Codebook()
+        codewords = rng.normal(size=(num_codewords, 2))
+        cb.extend(codewords)
+        vectors = rng.normal(size=(num_vectors, 2))
+        indices, distances = cb.assign(vectors)
+        brute = np.linalg.norm(vectors[:, None, :] - codewords[None, :, :], axis=2)
+        np.testing.assert_allclose(distances, brute.min(axis=1), rtol=1e-10)
+
+
+class TestStorage:
+    def test_storage_bytes(self):
+        cb = Codebook()
+        cb.extend(np.zeros((10, 2)))
+        assert cb.storage_bytes(bytes_per_value=8) == 160
+
+    def test_index_bits(self):
+        cb = Codebook()
+        assert cb.index_bits() == 1
+        cb.extend(np.zeros((2, 2)))
+        assert cb.index_bits() == 1
+        cb.extend(np.zeros((3, 2)))  # 5 codewords -> 3 bits
+        assert cb.index_bits() == 3
+
+    def test_copy_is_independent(self):
+        cb = Codebook()
+        cb.add([1.0, 1.0])
+        clone = cb.copy()
+        clone.add([2.0, 2.0])
+        assert len(cb) == 1
+        assert len(clone) == 2

@@ -1,0 +1,73 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import CQCConfig, IndexConfig, PPQConfig, PartitionCriterion
+from repro.utils.geo import meters_to_degrees
+
+
+class TestPPQConfig:
+    def test_defaults_match_paper(self):
+        config = PPQConfig()
+        assert config.epsilon1 == pytest.approx(0.001)
+        assert config.criterion is PartitionCriterion.SPATIAL
+        assert config.prediction_order == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPQConfig(epsilon1=0.0)
+        with pytest.raises(ValueError):
+            PPQConfig(epsilon_p=-1.0)
+        with pytest.raises(ValueError):
+            PPQConfig(prediction_order=0)
+        with pytest.raises(ValueError):
+            PPQConfig(max_partitions=0)
+
+    def test_criterion_accepts_string(self):
+        config = PPQConfig(criterion="autocorrelation")
+        assert config.criterion is PartitionCriterion.AUTOCORRELATION
+
+    def test_for_spatial_deviation_meters(self):
+        config = PPQConfig.for_spatial_deviation_meters(111.0)
+        assert config.epsilon1 == pytest.approx(0.001)
+
+    def test_for_spatial_deviation_meters_forwards_overrides(self):
+        config = PPQConfig.for_spatial_deviation_meters(
+            222.0, criterion=PartitionCriterion.AUTOCORRELATION
+        )
+        assert config.criterion is PartitionCriterion.AUTOCORRELATION
+        assert config.epsilon1 == pytest.approx(0.002)
+
+
+class TestCQCConfig:
+    def test_default_grid_is_50_meters(self):
+        config = CQCConfig()
+        assert config.grid_size == pytest.approx(meters_to_degrees(50.0))
+        assert config.enabled
+
+    def test_for_grid_meters(self):
+        config = CQCConfig.for_grid_meters(25.0, enabled=False)
+        assert config.grid_size == pytest.approx(meters_to_degrees(25.0))
+        assert not config.enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CQCConfig(grid_size=0.0)
+
+
+class TestIndexConfig:
+    def test_defaults_match_paper(self):
+        config = IndexConfig()
+        assert config.epsilon_s == pytest.approx(0.1)
+        assert config.grid_cell == pytest.approx(meters_to_degrees(100.0))
+        assert config.epsilon_c == pytest.approx(0.5)
+        assert config.epsilon_d == pytest.approx(0.5)
+        assert config.page_size_bytes == 1 << 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndexConfig(epsilon_s=0.0)
+        with pytest.raises(ValueError):
+            IndexConfig(grid_cell=-1.0)
+        with pytest.raises(ValueError):
+            IndexConfig(page_size_bytes=0)

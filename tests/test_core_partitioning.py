@@ -1,0 +1,146 @@
+"""Tests for the partitioning machinery (Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import PPQConfig, PartitionCriterion
+from repro.core.partitioning import IncrementalPartitioner, partition_points
+
+
+class TestPartitionPoints:
+    def test_single_cluster_when_threshold_is_large(self):
+        points = np.random.default_rng(0).normal(scale=0.01, size=(50, 2))
+        labels, centroids, rounds = partition_points(points, epsilon_p=10.0)
+        assert len(np.unique(labels)) == 1
+        assert rounds == 1
+
+    def test_threshold_enforced(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack([
+            rng.normal(loc=0.0, scale=0.01, size=(40, 2)),
+            rng.normal(loc=1.0, scale=0.01, size=(40, 2)),
+        ])
+        labels, centroids, _ = partition_points(points, epsilon_p=0.2, seed=3)
+        deviations = np.linalg.norm(points - centroids[labels], axis=1)
+        assert np.all(deviations <= 0.2)
+
+    def test_more_clusters_for_tighter_threshold(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 1, size=(120, 2))
+        _, centroids_loose, _ = partition_points(points, epsilon_p=0.5, seed=0)
+        _, centroids_tight, _ = partition_points(points, epsilon_p=0.1, seed=0)
+        assert len(centroids_tight) >= len(centroids_loose)
+
+    def test_empty_input(self):
+        labels, centroids, rounds = partition_points(np.empty((0, 2)), epsilon_p=0.1)
+        assert len(labels) == 0
+        assert rounds == 0
+
+    def test_max_partitions_cap(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(60, 2))
+        labels, centroids, _ = partition_points(points, epsilon_p=1e-9, max_partitions=8)
+        assert len(centroids) <= max(8, 60)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=80), st.floats(min_value=0.05, max_value=1.0))
+    def test_every_point_within_threshold_property(self, n, eps):
+        rng = np.random.default_rng(n)
+        points = rng.uniform(0, 1, size=(n, 2))
+        labels, centroids, _ = partition_points(points, epsilon_p=eps, seed=1)
+        deviations = np.linalg.norm(points - centroids[labels], axis=1)
+        # Either the bound holds or the partitioner hit the cap (n points).
+        assert np.all(deviations <= eps + 1e-9) or len(centroids) >= min(n, 256)
+
+
+class TestIncrementalPartitioner:
+    def _two_cluster_features(self, n_per=20, separation=1.0, jitter=0.01, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(loc=0.0, scale=jitter, size=(n_per, 2))
+        b = rng.normal(loc=separation, scale=jitter, size=(n_per, 2))
+        features = np.vstack([a, b])
+        traj_ids = np.arange(2 * n_per)
+        return traj_ids, features
+
+    def test_initial_partitioning_separates_clusters(self):
+        traj_ids, features = self._two_cluster_features()
+        partitioner = IncrementalPartitioner(PPQConfig(epsilon_p=0.2))
+        groups = partitioner.update(traj_ids, features)
+        assert partitioner.num_partitions >= 2
+        # Points of the two clusters must not share a partition.
+        pid_of = {}
+        for pid, rows in groups.items():
+            for row in rows:
+                pid_of[int(traj_ids[row])] = pid
+        first_cluster_pids = {pid_of[i] for i in range(20)}
+        second_cluster_pids = {pid_of[i] for i in range(20, 40)}
+        assert not (first_cluster_pids & second_cluster_pids)
+
+    def test_carry_over_preserves_co_membership_when_stable(self):
+        traj_ids, features = self._two_cluster_features()
+        partitioner = IncrementalPartitioner(PPQConfig(epsilon_p=0.2))
+        partitioner.update(traj_ids, features)
+        before = {tid: partitioner.partition_of(tid) for tid in traj_ids}
+        # Same features again: no re-splits may happen (only merges are
+        # allowed on stable data), so trajectories that shared a partition
+        # must still share one.
+        partitioner.update(traj_ids, features + 1e-5)
+        after = {tid: partitioner.partition_of(tid) for tid in traj_ids}
+        assert partitioner.stats["resplits"] == 0
+        for a in traj_ids:
+            for b in traj_ids:
+                if before[a] == before[b]:
+                    assert after[a] == after[b]
+
+    def test_new_trajectories_get_assigned(self):
+        traj_ids, features = self._two_cluster_features()
+        partitioner = IncrementalPartitioner(PPQConfig(epsilon_p=0.2))
+        partitioner.update(traj_ids, features)
+        new_ids = np.arange(100, 105)
+        new_features = np.full((5, 2), 3.0)
+        groups = partitioner.update(
+            np.concatenate([traj_ids, new_ids]),
+            np.vstack([features, new_features]),
+        )
+        assert all(partitioner.partition_of(int(tid)) is not None for tid in new_ids)
+        total_rows = sum(len(rows) for rows in groups.values())
+        assert total_rows == len(traj_ids) + 5
+
+    def test_resplit_when_partition_drifts_apart(self):
+        traj_ids, features = self._two_cluster_features(separation=0.05)
+        config = PPQConfig(epsilon_p=0.2)
+        partitioner = IncrementalPartitioner(config)
+        partitioner.update(traj_ids, features)
+        assert partitioner.num_partitions == 1
+        # Second half of the trajectories moves far away -> threshold violated
+        # -> the partition must be re-split.
+        drifted = features.copy()
+        drifted[20:] += 5.0
+        partitioner.update(traj_ids, drifted)
+        assert partitioner.num_partitions >= 2
+        assert partitioner.stats["resplits"] >= 1
+
+    def test_merge_of_converging_partitions(self):
+        traj_ids, features = self._two_cluster_features(separation=2.0)
+        config = PPQConfig(epsilon_p=0.3)
+        partitioner = IncrementalPartitioner(config)
+        partitioner.update(traj_ids, features)
+        assert partitioner.num_partitions >= 2
+        # Both clusters converge onto the same location -> centroids get close
+        # -> partitions merge (at most one merge per partition per step).
+        converged = np.zeros_like(features)
+        partitioner.update(traj_ids, converged)
+        assert partitioner.stats["merges"] >= 1
+
+    def test_groups_are_disjoint_and_complete(self):
+        traj_ids, features = self._two_cluster_features()
+        partitioner = IncrementalPartitioner(PPQConfig(epsilon_p=0.2))
+        groups = partitioner.update(traj_ids, features)
+        seen = sorted(int(row) for rows in groups.values() for row in rows)
+        assert seen == list(range(len(traj_ids)))
+
+    def test_alignment_validation(self):
+        partitioner = IncrementalPartitioner(PPQConfig())
+        with pytest.raises(ValueError):
+            partitioner.update(np.arange(3), np.zeros((2, 2)))

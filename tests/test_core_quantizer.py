@@ -1,0 +1,121 @@
+"""Tests for the incremental error-bounded quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codebook import Codebook
+from repro.core.quantizer import IncrementalQuantizer, kmeans
+
+
+class TestErrorBound:
+    def test_single_batch_respects_bound(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(scale=0.01, size=(200, 2))
+        cb = Codebook()
+        quantizer = IncrementalQuantizer(epsilon=0.005)
+        indices = quantizer.quantize(vectors, cb)
+        errors = np.linalg.norm(vectors - cb.reconstruct(indices), axis=1)
+        assert np.all(errors <= 0.005 + 1e-12)
+
+    def test_bound_holds_across_batches_with_shared_codebook(self):
+        rng = np.random.default_rng(1)
+        cb = Codebook()
+        quantizer = IncrementalQuantizer(epsilon=0.01)
+        for batch in range(5):
+            vectors = rng.normal(scale=0.02, size=(100, 2)) + batch * 0.01
+            indices = quantizer.quantize(vectors, cb)
+            errors = np.linalg.norm(vectors - cb.reconstruct(indices), axis=1)
+            assert np.all(errors <= 0.01 + 1e-12)
+
+    def test_codebook_reuse_limits_growth(self):
+        """Quantizing the same data twice must not add new codewords."""
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(scale=0.01, size=(100, 2))
+        cb = Codebook()
+        quantizer = IncrementalQuantizer(epsilon=0.01)
+        quantizer.quantize(vectors, cb)
+        size_after_first = len(cb)
+        quantizer.quantize(vectors, cb)
+        assert len(cb) == size_after_first
+
+    def test_empty_input(self):
+        cb = Codebook()
+        quantizer = IncrementalQuantizer(epsilon=0.01)
+        indices = quantizer.quantize(np.empty((0, 2)), cb)
+        assert len(indices) == 0
+        assert len(cb) == 0
+
+    def test_single_vector(self):
+        cb = Codebook()
+        quantizer = IncrementalQuantizer(epsilon=1e-6)
+        indices = quantizer.quantize(np.array([[5.0, 5.0]]), cb)
+        np.testing.assert_allclose(cb.reconstruct(indices)[0], [5.0, 5.0])
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            IncrementalQuantizer(epsilon=0.0)
+
+    def test_budget_cap_still_respects_bound(self):
+        """Even with a tiny per-step codeword budget the bound must hold
+        (the fallback adds violating vectors verbatim)."""
+        rng = np.random.default_rng(3)
+        vectors = rng.uniform(-1.0, 1.0, size=(64, 2))
+        cb = Codebook()
+        quantizer = IncrementalQuantizer(epsilon=0.01, max_new_codewords_per_step=4)
+        indices = quantizer.quantize(vectors, cb)
+        errors = np.linalg.norm(vectors - cb.reconstruct(indices), axis=1)
+        assert np.all(errors <= 0.01 + 1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=120),
+        st.floats(min_value=0.005, max_value=0.5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_error_bound_property(self, n, epsilon, seed):
+        """Invariant of Equation 3: every vector within epsilon of its codeword."""
+        rng = np.random.default_rng(seed)
+        vectors = rng.uniform(-1.0, 1.0, size=(n, 2))
+        cb = Codebook()
+        quantizer = IncrementalQuantizer(epsilon=epsilon, seed=seed)
+        indices = quantizer.quantize(vectors, cb)
+        errors = np.linalg.norm(vectors - cb.reconstruct(indices), axis=1)
+        assert np.all(errors <= epsilon + 1e-9)
+
+    def test_smaller_epsilon_needs_more_codewords(self):
+        rng = np.random.default_rng(4)
+        vectors = rng.uniform(-0.5, 0.5, size=(400, 2))
+        sizes = {}
+        for eps in (0.2, 0.02):
+            cb = Codebook()
+            IncrementalQuantizer(epsilon=eps, seed=0).quantize(vectors, cb)
+            sizes[eps] = len(cb)
+        assert sizes[0.02] > sizes[0.2]
+
+
+class TestKmeansHelper:
+    def test_basic_clustering(self):
+        points = np.vstack([np.zeros((20, 2)), np.ones((20, 2)) * 10.0])
+        centroids, labels = kmeans(points, 2, seed=0)
+        assert centroids.shape == (2, 2)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_k_clamped_to_n(self):
+        points = np.zeros((3, 2))
+        centroids, labels = kmeans(points, 10, seed=0)
+        assert len(centroids) == 3
+
+    def test_arbitrary_dimensionality(self):
+        points = np.random.default_rng(0).normal(size=(30, 4))
+        centroids, labels = kmeans(points, 3, seed=1)
+        assert centroids.shape == (3, 4)
+        assert labels.shape == (30,)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)

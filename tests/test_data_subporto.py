@@ -1,0 +1,68 @@
+"""Tests for the sub-Porto construction used by the REST experiment."""
+
+import numpy as np
+import pytest
+
+from repro.data.subporto import build_sub_porto
+from repro.data.synthetic import generate_porto_like
+
+
+@pytest.fixture(scope="module")
+def source():
+    return generate_porto_like(num_trajectories=20, max_length=60, seed=17)
+
+
+class TestBuildSubPorto:
+    def test_pool_size(self, source):
+        split = build_sub_porto(source, num_base=10, variants_per_base=4, seed=1)
+        total = len(split.compress_set) + len(split.reference_set)
+        assert total == 10 * 5  # each base trajectory plus four variants
+
+    def test_compress_fraction(self, source):
+        split = build_sub_porto(source, num_base=10, variants_per_base=4,
+                                compress_fraction=0.1, seed=1)
+        total = len(split.compress_set) + len(split.reference_set)
+        assert len(split.compress_set) == max(1, round(total * 0.1))
+
+    def test_sets_are_disjoint(self, source):
+        split = build_sub_porto(source, num_base=10, variants_per_base=2, seed=2)
+        # IDs are assigned from a single counter, so disjointness is by ID.
+        assert not (set(split.compress_set.trajectory_ids)
+                    & set(split.reference_set.trajectory_ids))
+
+    def test_variants_are_similar_to_base(self, source):
+        """Down-sampled noisy variants stay within a small deviation of the base."""
+        split = build_sub_porto(source, num_base=3, variants_per_base=4,
+                                downsample_step=2, noise_std_m=5.0, seed=3)
+        pool = list(split.reference_set) + list(split.compress_set)
+        # Group by construction: base trajectories are the ones whose length
+        # matches a source trajectory exactly.  For at least one variant, the
+        # nearest source trajectory should be within ~50 m on average.
+        source_points = [traj.points for traj in source]
+        close_found = 0
+        for traj in pool:
+            for sp in source_points:
+                m = min(len(traj.points), len(sp[::2]))
+                if m < 5:
+                    continue
+                dist = np.linalg.norm(traj.points[:m] - sp[::2][:m], axis=1).mean()
+                if dist < 50.0 / 111_000.0:
+                    close_found += 1
+                    break
+        assert close_found > 0
+
+    def test_deterministic(self, source):
+        a = build_sub_porto(source, num_base=5, seed=9)
+        b = build_sub_porto(source, num_base=5, seed=9)
+        assert a.compress_set.trajectory_ids == b.compress_set.trajectory_ids
+
+    def test_invalid_arguments(self, source):
+        with pytest.raises(ValueError):
+            build_sub_porto(source, num_base=0)
+        with pytest.raises(ValueError):
+            build_sub_porto(source, num_base=5, variants_per_base=-1)
+
+    def test_empty_source_rejected(self, source):
+        empty = source.restrict([])
+        with pytest.raises(ValueError):
+            build_sub_porto(empty, num_base=5)

@@ -1,0 +1,40 @@
+"""Smoke tests for the runnable examples.
+
+The examples are part of the public deliverable, so we make sure they run end
+to end.  Only the two fast ones are executed as subprocesses; the heavier
+studies are exercised indirectly by the benchmark harness.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+def _run_example(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    env = {"PYTHONPATH": str(SRC_DIR)}
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+@pytest.mark.parametrize("name, expected", [
+    ("quickstart.py", "STRQ"),
+    ("compression_study.py", "PPQ-A"),
+])
+def test_example_runs_and_prints_expected_output(name, expected):
+    result = _run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert expected in result.stdout
+
+
+def test_example_files_exist():
+    expected = {"quickstart.py", "fleet_monitoring.py", "compression_study.py",
+                "disk_io_study.py"}
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= present

@@ -1,0 +1,106 @@
+"""Tests for the simulated page store and disk-backed index."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import IndexConfig
+from repro.data.synthetic import generate_porto_like
+from repro.index.disk import POINT_RECORD_BYTES, DiskBackedIndex, PageStore
+
+
+class TestPageStore:
+    def test_allocate_and_append(self):
+        store = PageStore(page_size_bytes=100)
+        page = store.allocate()
+        assert store.append(page, 60)
+        assert store.append(page, 40)
+        assert not store.append(page, 1)
+
+    def test_append_unknown_page(self):
+        store = PageStore(page_size_bytes=100)
+        with pytest.raises(IndexError):
+            store.append(3, 10)
+
+    def test_write_sequence_page_count(self):
+        store = PageStore(page_size_bytes=100)
+        start, num = store.write_sequence(250)
+        assert (start, num) == (0, 3)
+        start, num = store.write_sequence(10)
+        assert num == 1
+
+    def test_write_sequence_zero_bytes_uses_one_page(self):
+        store = PageStore(page_size_bytes=100)
+        _, num = store.write_sequence(0)
+        assert num == 1
+
+    def test_read_counting(self):
+        store = PageStore(page_size_bytes=100)
+        store.write_sequence(250)
+        store.read_range(0, 3)
+        assert store.reads == 3
+        with pytest.raises(IndexError):
+            store.read_page(99)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageStore(page_size_bytes=0)
+
+
+class TestDiskBackedIndex:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_porto_like(num_trajectories=20, max_length=40, seed=21)
+
+    def test_build_and_query(self, dataset):
+        index = DiskBackedIndex(IndexConfig(page_size_bytes=4096)).build(dataset)
+        traj = dataset.get(0)
+        t = 5
+        result = index.query(traj.points[t][0], traj.points[t][1], t)
+        assert 0 in result
+        assert index.num_ios > 0
+
+    def test_query_unknown_time(self, dataset):
+        index = DiskBackedIndex(IndexConfig(page_size_bytes=4096)).build(dataset)
+        assert index.query(0.0, 0.0, 99_999) == []
+
+    def test_query_before_build_raises(self):
+        index = DiskBackedIndex(IndexConfig())
+        with pytest.raises(RuntimeError):
+            index.query(0.0, 0.0, 0)
+
+    def test_per_timestamp_layout_has_more_periods(self, dataset):
+        tpi_layout = DiskBackedIndex(IndexConfig(page_size_bytes=4096),
+                                     per_timestamp=False).build(dataset)
+        pi_layout = DiskBackedIndex(IndexConfig(page_size_bytes=4096),
+                                    per_timestamp=True).build(dataset)
+        assert pi_layout.tpi.num_periods >= tpi_layout.tpi.num_periods
+        assert pi_layout.tpi.num_periods == len(dataset.timestamps)
+
+    def test_per_timestamp_queries_fewer_pages_per_query(self, dataset):
+        """A per-timestamp layout touches only that timestamp's pages, so its
+        per-query I/O is no higher than the TPI layout's."""
+        config = IndexConfig(page_size_bytes=1024)
+        tpi_layout = DiskBackedIndex(config, per_timestamp=False).build(dataset)
+        pi_layout = DiskBackedIndex(config, per_timestamp=True).build(dataset)
+        traj = dataset.get(3)
+        t = 10
+        x, y = traj.points[t]
+        tpi_layout.reset_io_counters()
+        pi_layout.reset_io_counters()
+        tpi_layout.query(x, y, t)
+        pi_layout.query(x, y, t)
+        assert pi_layout.num_ios <= tpi_layout.num_ios
+
+    def test_reset_io_counters(self, dataset):
+        index = DiskBackedIndex(IndexConfig(page_size_bytes=4096)).build(dataset)
+        traj = dataset.get(0)
+        index.query(traj.points[0][0], traj.points[0][1], 0)
+        index.reset_io_counters()
+        assert index.num_ios == 0
+
+    def test_sizes_are_positive(self, dataset):
+        index = DiskBackedIndex(IndexConfig(page_size_bytes=4096)).build(dataset)
+        assert index.index_size_megabytes() > 0.0
+        assert index.data_size_megabytes() > 0.0
+        # The paged data must at least hold every point record.
+        assert index.data_size_megabytes() * (1 << 20) >= dataset.num_points * POINT_RECORD_BYTES

@@ -1,0 +1,88 @@
+"""Tests for the per-rectangle grid index."""
+
+import numpy as np
+import pytest
+
+from repro.index.grid import GridIndex
+from repro.index.rectangles import Rect
+
+
+@pytest.fixture()
+def grid():
+    return GridIndex(Rect(0.0, 0.0, 10.0, 10.0), cell_size=1.0)
+
+
+class TestInsertAndLookup:
+    def test_insert_and_lookup(self, grid):
+        ids = np.array([1, 2, 3])
+        points = np.array([[0.5, 0.5], [0.6, 0.4], [5.5, 5.5]])
+        inserted = grid.insert(ids, points)
+        assert inserted == 3
+        assert sorted(grid.lookup(0.5, 0.5)) == [1, 2]
+        assert grid.lookup(5.1, 5.9) == [3]
+
+    def test_points_outside_rect_ignored(self, grid):
+        inserted = grid.insert(np.array([9]), np.array([[20.0, 20.0]]))
+        assert inserted == 0
+        assert grid.num_indexed_ids == 0
+
+    def test_lookup_outside_rect_empty(self, grid):
+        grid.insert(np.array([1]), np.array([[0.5, 0.5]]))
+        assert grid.lookup(50.0, 50.0) == []
+
+    def test_duplicate_ids_in_cell_stored_once(self, grid):
+        grid.insert(np.array([7, 7]), np.array([[0.1, 0.1], [0.2, 0.2]]))
+        assert grid.lookup(0.15, 0.15) == [7]
+
+    def test_incremental_insert_extends_posting_list(self, grid):
+        grid.insert(np.array([1]), np.array([[0.5, 0.5]]))
+        grid.insert(np.array([2]), np.array([[0.4, 0.6]]))
+        assert sorted(grid.lookup(0.5, 0.5)) == [1, 2]
+
+    def test_alignment_validation(self, grid):
+        with pytest.raises(ValueError):
+            grid.insert(np.array([1, 2]), np.array([[0.0, 0.0]]))
+
+    def test_cell_of_is_globally_anchored(self, grid):
+        # Cell boundaries sit at multiples of the cell size in absolute
+        # coordinates, so the same point maps to the same cell in every grid.
+        assert grid.cell_of(0.5, 0.5) == (0, 0)
+        assert grid.cell_of(1.0, 2.7) == (1, 2)
+        assert grid.cell_of(-0.1, 0.0) == (-1, 0)
+
+    def test_lookup_cells_union(self, grid):
+        grid.insert(np.array([1, 2]), np.array([[0.5, 0.5], [1.5, 0.5]]))
+        result = grid.lookup_cells([(0, 0), (1, 0), (5, 5)])
+        assert result == {1, 2}
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(Rect(0, 0, 1, 1), cell_size=0.0)
+
+
+class TestStatistics:
+    def test_counts(self, grid):
+        grid.insert(np.array([1, 2, 3]), np.array([[0.5, 0.5], [0.6, 0.6], [3.5, 3.5]]))
+        assert grid.num_nonempty_cells == 2
+        assert grid.num_indexed_ids == 3
+
+    def test_density_definition(self):
+        grid = GridIndex(Rect(0.0, 0.0, 2.0, 2.0), cell_size=1.0)
+        grid.insert(np.array([1, 2]), np.array([[0.5, 0.5], [1.5, 1.5]]))
+        # TRD = postings / area = 2 / 4.
+        assert grid.density() == pytest.approx(0.5)
+
+    def test_count_for_points(self, grid):
+        points = np.array([[0.5, 0.5], [100.0, 100.0], [9.0, 9.0]])
+        assert grid.count_for_points(points) == 2
+        assert grid.count_for_points(np.empty((0, 2))) == 0
+
+    def test_storage_bits_grow_with_content(self, grid):
+        empty_bits = grid.storage_bits()
+        grid.insert(np.arange(50), np.random.default_rng(0).uniform(0, 10, size=(50, 2)))
+        assert grid.storage_bits() > empty_bits
+
+    def test_num_cells_dimensions(self):
+        grid = GridIndex(Rect(0.0, 0.0, 2.5, 1.2), cell_size=1.0)
+        assert grid.num_cells_x == 3
+        assert grid.num_cells_y == 2

@@ -1,0 +1,55 @@
+"""Tests for the delta + Huffman trajectory-ID codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.index.idcodec import compress_ids, decompress_ids, raw_id_bits
+
+
+class TestRoundtrip:
+    def test_simple(self):
+        ids = [10, 3, 7, 42, 11]
+        compressed = compress_ids(ids)
+        assert decompress_ids(compressed) == sorted(set(ids))
+
+    def test_duplicates_are_removed(self):
+        compressed = compress_ids([5, 5, 5, 2])
+        assert decompress_ids(compressed) == [2, 5]
+        assert compressed.count == 2
+
+    def test_empty(self):
+        compressed = compress_ids([])
+        assert compressed.count == 0
+        assert decompress_ids(compressed) == []
+        assert compressed.storage_bits == 64  # header only
+
+    def test_single_id(self):
+        compressed = compress_ids([123])
+        assert decompress_ids(compressed) == [123]
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=0, max_size=400))
+    def test_roundtrip_property(self, ids):
+        compressed = compress_ids(ids)
+        assert decompress_ids(compressed) == sorted(set(ids))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=400))
+    def test_count_matches(self, ids):
+        compressed = compress_ids(ids)
+        assert compressed.count == len(set(ids))
+
+
+class TestCompressionEffectiveness:
+    def test_dense_lists_compress_well(self):
+        """Consecutive IDs (delta = 1 everywhere) should beat 32-bit storage."""
+        ids = list(range(1000, 2000))
+        compressed = compress_ids(ids)
+        assert compressed.storage_bits < raw_id_bits(ids)
+
+    def test_storage_includes_table_and_header(self):
+        compressed = compress_ids([1, 2, 3])
+        assert compressed.storage_bits > compressed.bit_length
+        assert compressed.storage_bytes == pytest.approx(compressed.storage_bits / 8.0)
+
+    def test_raw_id_bits(self):
+        assert raw_id_bits([1, 2, 3]) == 96
+        assert raw_id_bits([1, 2, 3], bits_per_id=64) == 192

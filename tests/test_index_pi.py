@@ -1,0 +1,112 @@
+"""Tests for the partition-based index (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import IndexConfig
+from repro.index.pi import build_partition_index
+
+
+@pytest.fixture()
+def two_cluster_slice():
+    rng = np.random.default_rng(0)
+    cluster_a = rng.normal(loc=[0.0, 0.0], scale=0.01, size=(30, 2))
+    cluster_b = rng.normal(loc=[1.0, 1.0], scale=0.01, size=(30, 2))
+    points = np.vstack([cluster_a, cluster_b])
+    traj_ids = np.arange(60)
+    return traj_ids, points
+
+
+class TestBuild:
+    def test_every_point_is_indexed(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        pi = build_partition_index(0, traj_ids, points, IndexConfig(epsilon_s=0.1, grid_cell=0.01))
+        assert pi.num_indexed_ids == len(points)
+
+    def test_empty_slice(self):
+        pi = build_partition_index(0, np.empty(0, dtype=int), np.empty((0, 2)), IndexConfig())
+        assert pi.num_rectangles == 0
+        assert pi.lookup(0.0, 0.0) == []
+
+    def test_rectangles_are_disjoint(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        pi = build_partition_index(0, traj_ids, points, IndexConfig(epsilon_s=0.1, grid_cell=0.01))
+        rects = [g.rect for g in pi.grids]
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                assert not a.intersects(b)
+
+    def test_lookup_returns_cell_mates(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        config = IndexConfig(epsilon_s=0.1, grid_cell=0.005)
+        pi = build_partition_index(0, traj_ids, points, config)
+        x, y = points[0]
+        result = pi.lookup(x, y)
+        assert 0 in result
+        # All returned trajectories must be close to the query point (within
+        # a cell diagonal of the same grid).
+        for tid in result:
+            distance = np.linalg.norm(points[tid] - points[0])
+            assert distance <= np.sqrt(2) * config.grid_cell + 1e-9
+
+    def test_lookup_local_is_superset(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        config = IndexConfig(epsilon_s=0.1, grid_cell=0.005)
+        pi = build_partition_index(0, traj_ids, points, config)
+        x, y = points[5]
+        plain = set(pi.lookup(x, y))
+        local = set(pi.lookup_local(x, y, radius=0.004))
+        assert plain <= local
+
+    def test_covered_mask(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        pi = build_partition_index(0, traj_ids, points, IndexConfig(epsilon_s=0.1, grid_cell=0.01))
+        inside = pi.covered_mask(points)
+        assert np.all(inside)
+        outside = pi.covered_mask(np.array([[50.0, 50.0]]))
+        assert not outside[0]
+
+    def test_insert_reports_coverage(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        pi = build_partition_index(0, traj_ids, points, IndexConfig(epsilon_s=0.1, grid_cell=0.01))
+        new_points = np.array([[0.0, 0.0], [100.0, 100.0]])
+        covered = pi.insert(np.array([100, 101]), new_points)
+        assert covered[0] and not covered[1]
+
+    def test_storage_and_densities(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        pi = build_partition_index(0, traj_ids, points, IndexConfig(epsilon_s=0.1, grid_cell=0.01))
+        assert pi.storage_bits() > 0
+        assert len(pi.densities()) == pi.num_rectangles
+        assert len(pi.baseline_density) == pi.num_rectangles
+
+    def test_extend_with_keeps_rectangles_disjoint(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        config = IndexConfig(epsilon_s=0.1, grid_cell=0.01)
+        pi = build_partition_index(0, traj_ids[:30], points[:30], config)
+        added = pi.extend_with(traj_ids[30:], points[30:], seed=1)
+        assert added >= 1
+        rects = [g.rect for g in pi.grids]
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                assert not a.intersects(b)
+        # The new points are now covered and findable.
+        assert np.all(pi.covered_mask(points[30:]))
+        assert pi.lookup(*points[45]) != []
+
+    def test_extend_with_empty_is_noop(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        pi = build_partition_index(0, traj_ids, points, IndexConfig(epsilon_s=0.1, grid_cell=0.01))
+        before = pi.num_rectangles
+        assert pi.extend_with(np.empty(0, dtype=int), np.empty((0, 2))) == 0
+        assert pi.num_rectangles == before
+
+    def test_append_grids(self, two_cluster_slice):
+        traj_ids, points = two_cluster_slice
+        config = IndexConfig(epsilon_s=0.1, grid_cell=0.01)
+        pi = build_partition_index(0, traj_ids[:30], points[:30], config)
+        other = build_partition_index(0, traj_ids[30:], points[30:], config)
+        before = pi.num_rectangles
+        pi.append_grids(other)
+        assert pi.num_rectangles == before + other.num_rectangles
+        assert pi.lookup(*points[45]) != []

@@ -1,0 +1,143 @@
+"""Tests for rectangles and overlap removal."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.rectangles import Rect, minimum_bounding_rect, remove_overlap
+
+
+def rect_strategy():
+    coord = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+    return st.tuples(coord, coord, coord, coord).map(
+        lambda c: Rect(min(c[0], c[2]), min(c[1], c[3]),
+                       max(c[0], c[2]) + 0.1, max(c[1], c[3]) + 0.1)
+    )
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_area_width_height(self):
+        rect = Rect(0.0, 0.0, 2.0, 3.0)
+        assert rect.width == 2.0
+        assert rect.height == 3.0
+        assert rect.area == 6.0
+
+    def test_contains(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert rect.contains(0.5, 0.5)
+        assert rect.contains(0.0, 1.0)  # closed boundary
+        assert not rect.contains(1.5, 0.5)
+
+    def test_contains_points_vectorised(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        points = np.array([[0.5, 0.5], [2.0, 0.5], [1.0, 1.0]])
+        np.testing.assert_array_equal(rect.contains_points(points), [True, False, True])
+
+    def test_intersects_and_intersection(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 3.0, 3.0)
+        assert a.intersects(b)
+        overlap = a.intersection(b)
+        assert overlap == Rect(1.0, 1.0, 2.0, 2.0)
+
+    def test_touching_rectangles_do_not_intersect(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(1.0, 0.0, 2.0, 1.0)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+
+class TestSubtract:
+    def test_no_overlap_returns_self(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(5.0, 5.0, 6.0, 6.0)
+        assert a.subtract(b) == [a]
+
+    def test_full_cover_returns_nothing(self):
+        a = Rect(1.0, 1.0, 2.0, 2.0)
+        b = Rect(0.0, 0.0, 3.0, 3.0)
+        assert a.subtract(b) == []
+
+    def test_corner_overlap_produces_two_pieces(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 3.0, 3.0)
+        pieces = a.subtract(b)
+        assert len(pieces) == 2
+        assert sum(p.area for p in pieces) == pytest.approx(a.area - 1.0)
+
+    def test_pieces_are_disjoint(self):
+        a = Rect(0.0, 0.0, 4.0, 4.0)
+        b = Rect(1.0, 1.0, 2.0, 3.0)
+        pieces = a.subtract(b)
+        for i, p in enumerate(pieces):
+            for q in pieces[i + 1:]:
+                assert not p.intersects(q)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rect_strategy(), rect_strategy())
+    def test_subtract_area_conservation_property(self, a, b):
+        """area(a \\ b) == area(a) - area(a ∩ b)."""
+        pieces = a.subtract(b)
+        overlap = a.intersection(b)
+        overlap_area = overlap.area if overlap else 0.0
+        assert sum(p.area for p in pieces) == pytest.approx(a.area - overlap_area, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rect_strategy(), rect_strategy(), st.integers(0, 10_000))
+    def test_membership_property(self, a, b, seed):
+        """A random point is in a\\b iff it is in a and not strictly inside b."""
+        rng = np.random.default_rng(seed)
+        pieces = a.subtract(b)
+        xs = rng.uniform(a.min_x, a.max_x, size=20)
+        ys = rng.uniform(a.min_y, a.max_y, size=20)
+        for x, y in zip(xs, ys):
+            strictly_in_b = b.min_x < x < b.max_x and b.min_y < y < b.max_y
+            in_pieces = any(p.contains(x, y) for p in pieces)
+            if strictly_in_b:
+                assert not any(p.min_x < x < p.max_x and p.min_y < y < p.max_y for p in pieces)
+            else:
+                assert in_pieces
+
+
+class TestMinimumBoundingRect:
+    def test_covers_all_points(self):
+        points = np.random.default_rng(0).normal(size=(50, 2))
+        rect = minimum_bounding_rect(points)
+        assert np.all(rect.contains_points(points))
+
+    def test_padding(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        rect = minimum_bounding_rect(points, padding=0.5)
+        assert rect.min_x == -0.5 and rect.max_y == 1.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_bounding_rect(np.empty((0, 2)))
+
+
+class TestRemoveOverlap:
+    def test_no_existing_returns_original(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert remove_overlap(rect, []) == [rect]
+
+    def test_fully_covered_returns_empty(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert remove_overlap(rect, [Rect(-1.0, -1.0, 2.0, 2.0)]) == []
+
+    def test_result_disjoint_from_existing(self):
+        rect = Rect(0.0, 0.0, 4.0, 4.0)
+        existing = [Rect(1.0, 1.0, 2.0, 2.0), Rect(3.0, 0.0, 5.0, 1.0)]
+        pieces = remove_overlap(rect, existing)
+        for piece in pieces:
+            for other in existing:
+                assert not piece.intersects(other)
+
+    def test_total_area_correct_for_disjoint_existing(self):
+        rect = Rect(0.0, 0.0, 4.0, 4.0)
+        existing = [Rect(0.0, 0.0, 1.0, 1.0), Rect(3.0, 3.0, 4.0, 4.0)]
+        pieces = remove_overlap(rect, existing)
+        assert sum(p.area for p in pieces) == pytest.approx(16.0 - 2.0)

@@ -1,0 +1,133 @@
+"""Tests for the temporal partition-based index (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import IndexConfig
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+from repro.index.tpi import TemporalPartitionIndex
+
+
+def drifting_dataset(num_traj=20, length=30, drift_at=15, seed=0):
+    """Trajectories that stay in one area then jump to a different one.
+
+    The jump at ``drift_at`` empties the original rectangles, which forces the
+    TPI to re-build.
+    """
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for i in range(num_traj):
+        base = rng.normal(scale=0.01, size=2)
+        points = np.tile(base, (length, 1)) + rng.normal(scale=0.001, size=(length, 2))
+        points[drift_at:] += 5.0
+        trajectories.append(Trajectory(traj_id=i, points=points))
+    return TrajectoryDataset(trajectories)
+
+
+def stable_dataset(num_traj=20, length=30, seed=1):
+    """Trajectories that jitter around fixed positions (stable distribution)."""
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for i in range(num_traj):
+        base = rng.normal(scale=0.01, size=2)
+        jitter = rng.normal(scale=0.0002, size=(length, 2))
+        trajectories.append(Trajectory(traj_id=i, points=base + jitter))
+    return TrajectoryDataset(trajectories)
+
+
+class TestBuild:
+    def test_stable_data_keeps_one_period(self):
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005,
+                                                 epsilon_c=0.5, epsilon_d=0.5))
+        tpi.build(stable_dataset())
+        assert tpi.num_periods == 1
+        assert tpi.stats.num_rebuilds == 0
+
+    def test_drifting_data_triggers_rebuild(self):
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005,
+                                                 epsilon_c=0.5, epsilon_d=0.5))
+        tpi.build(drifting_dataset())
+        assert tpi.num_periods >= 2
+        assert tpi.stats.num_rebuilds >= 1
+
+    def test_periods_cover_all_timestamps_contiguously(self):
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005))
+        dataset = drifting_dataset()
+        tpi.build(dataset)
+        covered = []
+        for period in tpi.periods:
+            assert period.start <= period.end
+            covered.extend(range(period.start, period.end + 1))
+        assert sorted(covered) == dataset.timestamps
+
+    def test_uncovered_points_trigger_insertion(self):
+        """New trajectories appearing in a fresh area must produce insertions
+        (not rebuilds) when the existing rectangles keep their density."""
+        rng = np.random.default_rng(3)
+        trajectories = []
+        for i in range(15):
+            base = rng.normal(scale=0.01, size=2)
+            points = np.tile(base, (20, 1)) + rng.normal(scale=0.0005, size=(20, 2))
+            trajectories.append(Trajectory(traj_id=i, points=points))
+        # A latecomer far away, active only from t=5.
+        late_points = np.tile([3.0, 3.0], (15, 1)) + rng.normal(scale=0.0005, size=(15, 2))
+        trajectories.append(Trajectory(traj_id=99, points=late_points,
+                                       timestamps=np.arange(5, 20)))
+        dataset = TrajectoryDataset(trajectories)
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005,
+                                                 epsilon_c=0.9, epsilon_d=0.9))
+        tpi.build(dataset)
+        assert tpi.stats.num_insertions >= 1
+        # The latecomer must be findable at a later timestamp.
+        assert 99 in tpi.lookup(3.0, 3.0, 10) or 99 in tpi.lookup_local(3.0, 3.0, 10, 0.002)
+
+    def test_higher_epsilon_d_means_fewer_periods(self):
+        dataset = drifting_dataset(drift_at=10)
+        strict = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005,
+                                                    epsilon_d=0.05)).build(dataset)
+        loose = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005,
+                                                   epsilon_d=0.95)).build(dataset)
+        assert loose.num_periods <= strict.num_periods
+
+
+class TestLookup:
+    def test_lookup_finds_indexed_trajectory(self):
+        dataset = stable_dataset()
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.002)).build(dataset)
+        traj = dataset.get(0)
+        t = 7
+        x, y = traj.points[t]
+        assert 0 in tpi.lookup(x, y, t)
+
+    def test_lookup_unknown_time_is_empty(self):
+        dataset = stable_dataset()
+        tpi = TemporalPartitionIndex(IndexConfig()).build(dataset)
+        assert tpi.lookup(0.0, 0.0, 10_000) == []
+
+    def test_period_for_binary_search(self):
+        dataset = drifting_dataset()
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005)).build(dataset)
+        for t in dataset.timestamps:
+            period = tpi.period_for(t)
+            assert period is not None
+            assert period.start <= t <= period.end
+        assert tpi.period_for(-5) is None
+
+    def test_lookup_local_is_superset_of_plain(self):
+        dataset = stable_dataset()
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.002)).build(dataset)
+        traj = dataset.get(3)
+        x, y = traj.points[5]
+        plain = set(tpi.lookup(x, y, 5))
+        local = set(tpi.lookup_local(x, y, 5, radius=0.001))
+        assert plain <= local
+
+
+class TestStatistics:
+    def test_stats_filled_by_build(self):
+        dataset = stable_dataset()
+        tpi = TemporalPartitionIndex(IndexConfig()).build(dataset)
+        assert tpi.stats.num_periods == tpi.num_periods
+        assert tpi.stats.build_seconds > 0.0
+        assert tpi.stats.index_bits == tpi.storage_bits()
+        assert tpi.storage_megabytes() == pytest.approx(tpi.storage_bits() / 8.0 / (1 << 20))

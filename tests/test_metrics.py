@@ -1,0 +1,144 @@
+"""Tests for the evaluation metrics."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import BaselineSummary
+from repro.core.config import CQCConfig, PPQConfig
+from repro.core.ppq import PartitionwisePredictiveQuantizer
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+from repro.metrics.accuracy import (
+    aggregate_precision_recall,
+    mean_absolute_error,
+    path_mean_absolute_error,
+    precision_recall,
+    reconstruction_errors,
+)
+from repro.metrics.compression import compression_report, summary_size_bits
+from repro.metrics.timing import Timer
+
+
+def perfect_summary(dataset):
+    """A baseline summary reconstructing every point exactly."""
+    summary = BaselineSummary(method="perfect")
+    for slice_ in dataset.iter_time_slices():
+        for tid, point in zip(slice_.traj_ids, slice_.points):
+            summary.reconstructions[(int(tid), slice_.t)] = point.copy()
+    summary.num_points = dataset.num_points
+    summary.storage_bits = dataset.num_points * 128
+    return summary
+
+
+def shifted_summary(dataset, shift):
+    """A summary whose every reconstruction is offset by a constant vector."""
+    summary = BaselineSummary(method="shifted")
+    for slice_ in dataset.iter_time_slices():
+        for tid, point in zip(slice_.traj_ids, slice_.points):
+            summary.reconstructions[(int(tid), slice_.t)] = point + shift
+    summary.num_points = dataset.num_points
+    summary.storage_bits = 1
+    return summary
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return TrajectoryDataset([
+        Trajectory(0, np.array([[0.0, 0.0], [0.001, 0.001], [0.002, 0.002]])),
+        Trajectory(1, np.array([[0.01, 0.01], [0.011, 0.011]])),
+    ])
+
+
+class TestMAE:
+    def test_perfect_summary_has_zero_mae(self, tiny_dataset):
+        assert mean_absolute_error(perfect_summary(tiny_dataset), tiny_dataset) == pytest.approx(0.0)
+
+    def test_constant_shift_gives_exact_mae(self, tiny_dataset):
+        shift = np.array([0.001, 0.0])
+        summary = shifted_summary(tiny_dataset, shift)
+        # 0.001 degrees = 111 metres.
+        assert mean_absolute_error(summary, tiny_dataset) == pytest.approx(111.0)
+        assert mean_absolute_error(summary, tiny_dataset, in_meters=False) == pytest.approx(0.001)
+
+    def test_missing_reconstructions_are_skipped(self, tiny_dataset):
+        summary = BaselineSummary(method="partial")
+        summary.reconstructions[(0, 0)] = np.array([0.0, 0.0])
+        errors = reconstruction_errors(summary, tiny_dataset)
+        assert len(errors) == 1
+
+    def test_empty_summary_gives_nan(self, tiny_dataset):
+        assert np.isnan(mean_absolute_error(BaselineSummary(method="empty"), tiny_dataset))
+
+
+class TestPrecisionRecall:
+    def test_perfect_retrieval(self):
+        assert precision_recall([1, 2, 3], [1, 2, 3]) == (1.0, 1.0)
+
+    def test_partial_retrieval(self):
+        precision, recall = precision_recall([1, 2, 4, 5], [1, 2, 3])
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(2 / 3)
+
+    def test_empty_cases(self):
+        assert precision_recall([], []) == (1.0, 1.0)
+        assert precision_recall([1], []) == (0.0, 1.0)
+        assert precision_recall([], [1]) == (0.0, 0.0)
+
+    def test_aggregate(self):
+        precision, recall = aggregate_precision_recall([(1.0, 0.5), (0.0, 1.0)])
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.75)
+        nan_p, nan_r = aggregate_precision_recall([])
+        assert np.isnan(nan_p) and np.isnan(nan_r)
+
+
+class TestPathMAE:
+    def test_shifted_path_error(self, tiny_dataset):
+        summary = shifted_summary(tiny_dataset, np.array([0.0, 0.001]))
+        mae = path_mean_absolute_error(summary, tiny_dataset, [(0, 0)], length=3)
+        assert mae == pytest.approx(111.0)
+
+    def test_longer_paths_accumulate_real_quantizer_error(self, porto_small):
+        quantizer = PartitionwisePredictiveQuantizer(PPQConfig(), CQCConfig(enabled=False))
+        summary = quantizer.summarize(porto_small)
+        queries = [(tid, 0) for tid in porto_small.trajectory_ids[:10]]
+        short = path_mean_absolute_error(summary, porto_small, queries, length=5)
+        long = path_mean_absolute_error(summary, porto_small, queries, length=30)
+        assert short <= long * 1.5  # short windows should not be wildly worse
+
+    def test_empty_queries_give_nan(self, tiny_dataset):
+        summary = perfect_summary(tiny_dataset)
+        assert np.isnan(path_mean_absolute_error(summary, tiny_dataset, [], length=5))
+
+
+class TestCompressionReport:
+    def test_report_for_ppq_summary(self, porto_small):
+        quantizer = PartitionwisePredictiveQuantizer(PPQConfig(), CQCConfig())
+        summary = quantizer.summarize(porto_small, t_max=10)
+        report = compression_report(summary)
+        assert report.method == "PPQ-trajectory"
+        assert report.num_points == summary.num_points
+        assert report.summary_bits == summary_size_bits(summary)
+        assert report.compression_ratio == pytest.approx(summary.compression_ratio())
+
+    def test_report_for_baseline_summary(self, tiny_dataset):
+        summary = perfect_summary(tiny_dataset)
+        report = compression_report(summary)
+        assert report.method == "perfect"
+        assert report.compression_ratio == pytest.approx(1.0)
+        assert report.summary_megabytes > 0.0
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_restart_and_stop(self):
+        timer = Timer()
+        timer.restart()
+        elapsed = timer.stop()
+        assert elapsed >= 0.0
+        assert timer.stop() == elapsed  # idempotent once stopped

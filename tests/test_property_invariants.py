@@ -1,0 +1,93 @@
+"""Cross-module property-based tests of the paper's core invariants.
+
+These complement the per-module unit tests by checking, on randomly generated
+workloads, the three guarantees the system's correctness rests on:
+
+* Definition 3.2 / Equation 3 -- the base reconstruction error never exceeds
+  ``epsilon1``;
+* Lemma 3 -- the CQC-refined reconstruction error never exceeds
+  ``sqrt(2)/2 * g_s``;
+* Section 5.2 -- STRQ with local search has recall 1 against the ground truth
+  of Definition 5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CQCConfig, IndexConfig, PPQConfig, PPQTrajectory, PartitionCriterion
+from repro.core.ppq import PartitionwisePredictiveQuantizer
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+from repro.metrics.accuracy import precision_recall, reconstruction_errors
+from repro.queries.exact import ground_truth_cell_members
+
+
+def random_walk_dataset(num_traj: int, length: int, step_scale: float, seed: int) -> TrajectoryDataset:
+    """Small random-walk workload used as the property-test input."""
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for i in range(num_traj):
+        start = rng.uniform(-0.05, 0.05, size=2)
+        steps = rng.normal(scale=step_scale, size=(length, 2))
+        trajectories.append(Trajectory(traj_id=i, points=start + np.cumsum(steps, axis=0)))
+    return TrajectoryDataset(trajectories)
+
+
+workload = st.builds(
+    random_walk_dataset,
+    num_traj=st.integers(min_value=2, max_value=8),
+    length=st.integers(min_value=5, max_value=25),
+    step_scale=st.floats(min_value=1e-5, max_value=5e-4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(dataset=workload, epsilon=st.floats(min_value=2e-4, max_value=5e-3),
+       criterion=st.sampled_from(list(PartitionCriterion)))
+def test_base_reconstruction_error_bound(dataset, epsilon, criterion):
+    """Equation 3: every point is reconstructed within epsilon1 (no CQC)."""
+    eps_p = 0.01 if criterion is PartitionCriterion.AUTOCORRELATION else 0.05
+    quantizer = PartitionwisePredictiveQuantizer(
+        PPQConfig(epsilon1=epsilon, epsilon_p=eps_p, criterion=criterion),
+        CQCConfig(enabled=False),
+    )
+    summary = quantizer.summarize(dataset)
+    errors = reconstruction_errors(summary, dataset)
+    assert len(errors) == dataset.num_points
+    assert float(np.max(errors)) <= epsilon + 1e-9
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(dataset=workload, grid_fraction=st.floats(min_value=0.1, max_value=0.9))
+def test_cqc_refined_error_bound(dataset, grid_fraction):
+    """Lemma 3: the CQC-refined error never exceeds sqrt(2)/2 * g_s."""
+    epsilon = 0.001
+    grid = epsilon * grid_fraction
+    quantizer = PartitionwisePredictiveQuantizer(
+        PPQConfig(epsilon1=epsilon), CQCConfig(grid_size=grid)
+    )
+    summary = quantizer.summarize(dataset)
+    errors = reconstruction_errors(summary, dataset)
+    assert float(np.max(errors)) <= np.sqrt(2.0) / 2.0 * grid + 1e-9
+
+
+@settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(dataset=workload, seed=st.integers(min_value=0, max_value=1_000))
+def test_strq_local_search_recall_is_one(dataset, seed):
+    """Section 5.2: local search never misses a true STRQ answer."""
+    system = PPQTrajectory.ppq_s(cqc_config=CQCConfig(), index_config=IndexConfig())
+    system.fit(dataset)
+    rng = np.random.default_rng(seed)
+    cell = system.index_config.grid_cell
+    for _ in range(5):
+        tid = int(rng.choice(dataset.trajectory_ids))
+        traj = dataset.get(tid)
+        t = int(rng.integers(0, len(traj)))
+        x, y = traj.points[t]
+        result = system.strq(x, y, t, local_search=True)
+        truth = ground_truth_cell_members(dataset, x, y, t, cell)
+        _, recall = precision_recall(result.candidates, truth)
+        assert recall == pytest.approx(1.0)

@@ -1,0 +1,75 @@
+"""Tests for repro.utils.geo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.geo import (
+    DEGREE_TO_METERS,
+    bounding_box,
+    degrees_to_meters,
+    euclidean,
+    haversine_meters,
+    meters_to_degrees,
+)
+
+
+class TestConversions:
+    def test_degrees_to_meters_known_value(self):
+        assert degrees_to_meters(0.001) == pytest.approx(111.0)
+
+    def test_meters_to_degrees_known_value(self):
+        assert meters_to_degrees(111_000.0) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        assert meters_to_degrees(degrees_to_meters(0.1234)) == pytest.approx(0.1234)
+
+    @given(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False))
+    def test_roundtrip_property(self, value):
+        assert meters_to_degrees(degrees_to_meters(value)) == pytest.approx(value, abs=1e-9)
+
+    def test_constant_matches_paper_eps1(self):
+        # The paper states eps1 = 0.001 corresponds to roughly 111 metres.
+        assert DEGREE_TO_METERS * 0.001 == pytest.approx(111.0)
+
+
+class TestEuclidean:
+    def test_single_points(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_arrays(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[3.0, 4.0], [1.0, 1.0]])
+        np.testing.assert_allclose(euclidean(a, b), [5.0, 0.0])
+
+    def test_broadcasting(self):
+        a = np.array([[0.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(euclidean(a, [0.0, 0.0]), [0.0, 1.0])
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_meters(-8.6, 41.1, -8.6, 41.1) == pytest.approx(0.0)
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111 km anywhere on the globe.
+        dist = haversine_meters(-8.6, 41.0, -8.6, 42.0)
+        assert dist == pytest.approx(111_195, rel=0.01)
+
+    def test_symmetry(self):
+        d1 = haversine_meters(-8.6, 41.1, -8.5, 41.2)
+        d2 = haversine_meters(-8.5, 41.2, -8.6, 41.1)
+        assert d1 == pytest.approx(d2)
+
+
+class TestBoundingBox:
+    def test_simple(self):
+        points = np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.5]])
+        assert bounding_box(points) == (0.0, -1.0, 2.0, 1.0)
+
+    def test_single_point(self):
+        assert bounding_box(np.array([[3.0, 4.0]])) == (3.0, 4.0, 3.0, 4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box(np.empty((0, 2)))

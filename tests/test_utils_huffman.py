@@ -1,0 +1,74 @@
+"""Tests for repro.utils.huffman."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.huffman import HuffmanCodec
+
+
+class TestCodecConstruction:
+    def test_requires_positive_counts(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec({})
+        with pytest.raises(ValueError):
+            HuffmanCodec({1: 0})
+
+    def test_single_symbol_gets_one_bit(self):
+        codec = HuffmanCodec({7: 100})
+        assert codec.code_for(7) == "0"
+
+    def test_more_frequent_symbol_gets_shorter_code(self):
+        codec = HuffmanCodec({"a": 100, "b": 5, "c": 5, "d": 5})
+        assert len(codec.code_for("a")) <= len(codec.code_for("b"))
+        assert len(codec.code_for("a")) <= len(codec.code_for("d"))
+
+    def test_codes_are_prefix_free(self):
+        codec = HuffmanCodec({i: i + 1 for i in range(10)})
+        codes = list(codec.code_table.values())
+        for i, code_a in enumerate(codes):
+            for j, code_b in enumerate(codes):
+                if i != j:
+                    assert not code_b.startswith(code_a)
+
+    def test_from_symbols(self):
+        codec = HuffmanCodec.from_symbols([1, 1, 1, 2, 3])
+        assert set(codec.code_table) == {1, 2, 3}
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        symbols = [1, 2, 1, 1, 3, 2, 1]
+        codec = HuffmanCodec.from_symbols(symbols)
+        payload, bits = codec.encode(symbols)
+        assert codec.decode(payload, bits) == symbols
+
+    def test_encoded_bit_length_matches_encode(self):
+        symbols = [5, 5, 6, 7, 5]
+        codec = HuffmanCodec.from_symbols(symbols)
+        _, bits = codec.encode(symbols)
+        assert codec.encoded_bit_length(symbols) == bits
+
+    def test_unknown_symbol_raises(self):
+        codec = HuffmanCodec({1: 2})
+        with pytest.raises(KeyError):
+            codec.encode([2])
+
+    def test_table_bit_cost(self):
+        codec = HuffmanCodec({1: 1, 2: 1, 3: 1})
+        assert codec.table_bit_cost(symbol_bits=32, length_bits=5) == 3 * 37
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=300))
+    def test_roundtrip_property(self, symbols):
+        codec = HuffmanCodec.from_symbols(symbols)
+        payload, bits = codec.encode(symbols)
+        assert codec.decode(payload, bits) == symbols
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=300))
+    def test_compression_beats_or_matches_uniform_coding(self, symbols):
+        # Huffman never needs more bits than a fixed-width code over the
+        # observed alphabet (plus at most one bit per symbol for the
+        # single-symbol degenerate case).
+        codec = HuffmanCodec.from_symbols(symbols)
+        alphabet = len(set(symbols))
+        fixed_bits = max(1, (alphabet - 1).bit_length())
+        assert codec.encoded_bit_length(symbols) <= len(symbols) * max(fixed_bits, 1) + len(symbols)

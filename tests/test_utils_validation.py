@@ -1,0 +1,54 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import ensure_in_range, ensure_points_array, ensure_positive
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive("x", 0.5) == 0.5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            ensure_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            ensure_positive("x", -1.0)
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            ensure_positive("epsilon", -1)
+
+
+class TestEnsureInRange:
+    def test_accepts_bounds(self):
+        assert ensure_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert ensure_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range("x", 1.5, 0.0, 1.0)
+
+
+class TestEnsurePointsArray:
+    def test_list_of_pairs(self):
+        arr = ensure_points_array([[0.0, 1.0], [2.0, 3.0]])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == float
+
+    def test_single_pair_is_promoted(self):
+        arr = ensure_points_array([1.0, 2.0])
+        assert arr.shape == (1, 2)
+
+    def test_empty(self):
+        arr = ensure_points_array([])
+        assert arr.shape == (0, 2)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_points_array(np.zeros((3, 3)))
+
+    def test_wrong_1d_length_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_points_array([1.0, 2.0, 3.0])
