@@ -97,7 +97,8 @@ def matched_codeword_bits(reference_summary, dataset) -> int:
     return max(2, int(np.ceil(np.log2(per_timestamp))))
 
 
-def build_index_over(summary_like, index_config: IndexConfig | None = None) -> TemporalPartitionIndex:
+def build_index_over(summary_like,
+                     index_config: IndexConfig | None = None) -> TemporalPartitionIndex:
     """Build a TPI over the reconstructed points of any summary."""
     index_config = index_config or IndexConfig()
     if hasattr(summary_like, "to_dataset"):

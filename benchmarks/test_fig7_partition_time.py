@@ -11,7 +11,6 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import print_table
-from benchmarks.harness import build_ppq_variant
 from repro.core.config import PartitionCriterion
 
 #: eps_p sweeps per variant, matching the x-axes of Figure 7.

@@ -8,7 +8,6 @@ tighter eps_p maintains at least as many partitions as a looser one.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import print_table

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.baselines.common import BaselineSummary, index_bits_for_codewords
 from repro.core.codebook import Codebook
 from repro.core.quantizer import IncrementalQuantizer, kmeans

@@ -8,8 +8,9 @@ Two subcommands cover the end-to-end workflow:
     summary statistics (codebook size, compression ratio, MAE).
 
 ``query``
-    Compress a repository and answer a spatio-temporal range query and/or a
-    trajectory path query against it.
+    Compress a repository and answer spatio-temporal queries against it:
+    either a single STRQ/TPQ given by ``--x/--y/--t`` or a whole batch
+    workload file (``--workload``) executed through the batched engine.
 
 Examples
 --------
@@ -17,23 +18,49 @@ Examples
 
     python -m repro compress --synthetic porto --trajectories 100
     python -m repro query --synthetic porto --x -8.62 --y 41.16 --t 20 --length 10
+    python -m repro query --synthetic porto --workload workload.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.core.config import CQCConfig, IndexConfig, PPQConfig, PartitionCriterion
 from repro.core.pipeline import PPQTrajectory
 from repro.data.loaders import load_plt_directory, load_porto_csv
 from repro.data.synthetic import generate_geolife_like, generate_porto_like
 from repro.metrics.accuracy import mean_absolute_error
+from repro.queries.batch import load_workload
+from repro.queries.exact import ExactQueryResult
+from repro.queries.strq import STRQResult
+from repro.queries.tpq import TPQResult
+
+
+class _ReproArgumentParser(argparse.ArgumentParser):
+    """Argument parser with cross-argument validation for ``query``.
+
+    ``--x/--y/--t`` and ``--workload`` are alternative ways to specify the
+    queries; requiring one of them cannot be expressed with plain argparse
+    groups, so the check runs after parsing (still raising the usual
+    ``SystemExit`` with a usage message).
+    """
+
+    def parse_args(self, args=None, namespace=None):  # type: ignore[override]
+        parsed = super().parse_args(args, namespace)
+        if getattr(parsed, "command", None) == "query" and not getattr(parsed, "workload", None):
+            missing = [flag for flag, value in
+                       (("--x", parsed.x), ("--y", parsed.y), ("--t", parsed.t))
+                       if value is None]
+            if missing:
+                self.error(f"query needs either --workload or {', '.join(missing)}")
+        return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
-    parser = argparse.ArgumentParser(
+    parser = _ReproArgumentParser(
         prog="repro",
         description="PPQ-trajectory: compress and query large trajectory repositories",
     )
@@ -43,14 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(compress)
     _add_quantizer_arguments(compress)
 
-    query = subparsers.add_parser("query", help="compress and run a spatio-temporal query")
+    query = subparsers.add_parser("query", help="compress and run spatio-temporal queries")
     _add_dataset_arguments(query)
     _add_quantizer_arguments(query)
-    query.add_argument("--x", type=float, required=True, help="query x (longitude)")
-    query.add_argument("--y", type=float, required=True, help="query y (latitude)")
-    query.add_argument("--t", type=int, required=True, help="query timestamp")
+    query.add_argument("--x", type=float, default=None, help="query x (longitude)")
+    query.add_argument("--y", type=float, default=None, help="query y (latitude)")
+    query.add_argument("--t", type=int, default=None, help="query timestamp")
     query.add_argument("--length", type=int, default=0,
                        help="path length for a TPQ (0 = range query only)")
+    query.add_argument("--workload", default=None,
+                       help="JSON workload file of mixed strq/tpq/exact queries, "
+                            "answered through the batched query engine")
     return parser
 
 
@@ -122,6 +152,8 @@ def run_query(args: argparse.Namespace, out=None) -> int:
     dataset = load_dataset(args)
     system = build_system(args)
     system.fit(dataset)
+    if getattr(args, "workload", None):
+        return _run_workload(system, args.workload, out)
     strq = system.strq(args.x, args.y, args.t)
     print(f"STRQ ({args.x}, {args.y}, t={args.t}) -> {len(strq.candidates)} candidate(s): "
           f"{strq.candidates}", file=out)
@@ -131,6 +163,49 @@ def run_query(args: argparse.Namespace, out=None) -> int:
             last = path[-1]
             print(f"  trajectory {traj_id}: {len(path)} reconstructed points, "
                   f"ends at ({last[0]:.5f}, {last[1]:.5f})", file=out)
+    return 0
+
+
+def _run_workload(system: PPQTrajectory, path: str, out) -> int:
+    """Execute a JSON workload file through the batched query engine."""
+    try:
+        workload = load_workload(path)
+    except OSError as exc:
+        print(f"error: cannot read workload file: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: invalid workload file {path!r}: {exc}", file=sys.stderr)
+        return 2
+    cache_before = system.summary.slice_cache.stats()
+    start = time.perf_counter()
+    results = system.run_batch(workload)
+    elapsed = time.perf_counter() - start
+    counts = workload.counts()
+    described = ", ".join(f"{count} {kind}" for kind, count in counts.items() if count)
+    print(f"workload            : {len(workload)} queries ({described or 'empty'})", file=out)
+    print(f"batch time (s)      : {elapsed:.3f}", file=out)
+    if elapsed > 0:
+        print(f"throughput (q/s)    : {len(workload) / elapsed:.0f}", file=out)
+    total_candidates = total_paths = total_matches = 0
+    for result in results:
+        if isinstance(result, STRQResult):
+            total_candidates += len(result.candidates)
+        elif isinstance(result, TPQResult):
+            total_paths += len(result.paths)
+        elif isinstance(result, ExactQueryResult):
+            total_matches += len(result.matches)
+    if counts["strq"]:
+        print(f"STRQ candidates     : {total_candidates}", file=out)
+    if counts["tpq"]:
+        print(f"TPQ paths           : {total_paths}", file=out)
+    if counts["exact"]:
+        print(f"exact matches       : {total_matches}", file=out)
+    # Report counter deltas so the line describes this workload, not the
+    # slice reconstructions done while the index was built.
+    cache = system.summary.slice_cache.stats()
+    print(f"slice cache         : {cache['hits'] - cache_before['hits']} hits / "
+          f"{cache['misses'] - cache_before['misses']} misses "
+          f"({cache['evictions'] - cache_before['evictions']} evictions)", file=out)
     return 0
 
 

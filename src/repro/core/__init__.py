@@ -32,7 +32,7 @@ from repro.core.prediction import LinearPredictor, estimate_ar_coefficients
 from repro.core.partitioning import IncrementalPartitioner, Partition, partition_points
 from repro.core.epq import ErrorBoundedPredictiveQuantizer
 from repro.core.ppq import PartitionwisePredictiveQuantizer
-from repro.core.summary import TrajectorySummary
+from repro.core.summary import ReconstructionCache, TrajectorySummary
 from repro.core.pipeline import PPQTrajectory
 
 __all__ = [
@@ -49,6 +49,7 @@ __all__ = [
     "IncrementalPartitioner",
     "ErrorBoundedPredictiveQuantizer",
     "PartitionwisePredictiveQuantizer",
+    "ReconstructionCache",
     "TrajectorySummary",
     "PPQTrajectory",
 ]

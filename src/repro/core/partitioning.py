@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import PartitionCriterion, PPQConfig
+from repro.core.config import PPQConfig
 from repro.core.quantizer import kmeans
 
 
@@ -81,7 +81,8 @@ def partition_points(features: np.ndarray, epsilon_p: float,
     features = np.asarray(features, dtype=float)
     n = len(features)
     if n == 0:
-        return np.empty(0, dtype=np.int64), np.empty((0, features.shape[1] if features.ndim == 2 else 2)), 0
+        width = features.shape[1] if features.ndim == 2 else 2
+        return np.empty(0, dtype=np.int64), np.empty((0, width)), 0
     growth = max(1, int(growth))
     q = 1
     rounds = 0

@@ -108,6 +108,10 @@ class PPQTrajectory:
         """Exact-match query; see :meth:`QueryEngine.exact`."""
         return self._require_engine().exact(x, y, t)
 
+    def run_batch(self, workload):
+        """Batched mixed workload; see :meth:`QueryEngine.run_batch`."""
+        return self._require_engine().run_batch(workload)
+
     def predict_next_positions(self, traj_id: int, t: int, horizon: int = 5) -> np.ndarray:
         """Forecast the next positions of a trajectory from the summary."""
         return self._require_engine().predict_next_positions(traj_id, t, horizon=horizon)

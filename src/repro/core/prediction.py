@@ -90,7 +90,8 @@ class LinearPredictor:
         default (repeat the last point) is used.
         """
         history = np.asarray(history, dtype=float)
-        coeffs = self.coefficients if self.coefficients is not None else self._default_coefficients()
+        coeffs = (self.coefficients if self.coefficients is not None
+                  else self._default_coefficients())
         return np.einsum("k,nkd->nd", coeffs, history)
 
     def _default_coefficients(self) -> np.ndarray:

@@ -12,12 +12,90 @@ from storage accounting.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.codebook import Codebook
 from repro.core.config import CQCConfig, PPQConfig
+
+
+class ReconstructionCache:
+    """Bounded LRU cache for reconstructed timestamp slices.
+
+    Batched queries touch the same timestamps over and over (every STRQ at
+    ``t`` wants the reconstructions of every trajectory active at ``t``; a
+    TPQ of length ``l`` wants ``l`` consecutive slices).  Caching whole
+    slices amortises both the recursive prediction roll-forward and the CQC
+    offset decoding across all queries of a batch, while the LRU bound keeps
+    memory proportional to the working set instead of the stream length.
+
+    Attributes
+    ----------
+    capacity:
+        Maximum number of slices kept; the least recently used slice is
+        evicted first.
+    hits, misses, evictions:
+        Counters exposed for tests and benchmark reporting.  The summary's
+        accessors count at point granularity (a hit means one reconstruction
+        was served from cache), so reported hit rates reflect actual work
+        saved.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple[int, bool], dict[int, np.ndarray | None]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, bool]) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple[int, bool],
+            record: bool = True) -> dict[int, np.ndarray | None] | None:
+        """Return the cached slice for ``key`` or ``None``, updating recency.
+
+        ``record=False`` skips the hit/miss counters (used by accessors that
+        count at point granularity instead).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            if record:
+                self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        if record:
+            self.hits += 1
+        return entry
+
+    def put(self, key: tuple[int, bool], value: dict[int, np.ndarray | None]) -> None:
+        """Store a slice, evicting the least recently used one when full."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached slice (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counters as a plain dict (for logging / benchmark tables)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 @dataclass
@@ -98,7 +176,8 @@ class TrajectorySummary:
     """
 
     def __init__(self, config: PPQConfig, cqc_config: CQCConfig,
-                 codebook: Codebook, cqc_coder=None) -> None:
+                 codebook: Codebook, cqc_coder=None,
+                 slice_cache_capacity: int = 256) -> None:
         self.config = config
         self.cqc_config = cqc_config
         self.codebook = codebook
@@ -108,13 +187,21 @@ class TrajectorySummary:
         # CQC refinement)}.  Derivable from the summary, so not charged to
         # storage.
         self._reconstructions: dict[int, dict[int, np.ndarray]] = {}
+        # LRU cache of fully refined per-timestamp slices, shared by the
+        # batched query path (also derivable, so not charged to storage).
+        self.slice_cache = ReconstructionCache(capacity=slice_cache_capacity)
 
     # ------------------------------------------------------------------ #
     # population (called by the quantizers)
     # ------------------------------------------------------------------ #
     def add_record(self, record: TimestepRecord) -> None:
-        """Store the record of one timestamp."""
+        """Store the record of one timestamp.
+
+        Any cached slices are invalidated: a new record can change which
+        trajectories are active (and their reconstructions) at ``record.t``.
+        """
         self.records[record.t] = record
+        self.slice_cache.clear()
 
     def cache_reconstruction(self, traj_id: int, t: int, point: np.ndarray) -> None:
         """Cache the ε₁-bounded reconstruction of one point."""
@@ -174,21 +261,78 @@ class TrajectorySummary:
         return base + offset
 
     def reconstruct_path(self, traj_id: int, t_start: int, length: int,
-                         use_cqc: bool = True) -> np.ndarray:
+                         use_cqc: bool = True, cached: bool = False) -> np.ndarray:
         """Reconstruct up to ``length`` consecutive points starting at ``t_start``.
 
         Missing timestamps terminate the path early; the result has shape
-        ``(m, 2)`` with ``m <= length``.
+        ``(m, 2)`` with ``m <= length``.  With ``cached=True`` the points are
+        served through the LRU slice cache (used by batched TPQs, where path
+        windows of different queries overlap); results are identical either
+        way.
         """
+        getter = self.reconstruct_point_cached if cached else self.reconstruct_point
         points = []
         for t in range(int(t_start), int(t_start) + int(length)):
-            point = self.reconstruct_point(traj_id, t, use_cqc=use_cqc)
+            point = getter(traj_id, t, use_cqc=use_cqc)
             if point is None:
                 break
             points.append(point)
         if not points:
             return np.empty((0, 2), dtype=float)
         return np.vstack(points)
+
+    def reconstruct_point_cached(self, traj_id: int, t: int,
+                                 use_cqc: bool = True) -> np.ndarray | None:
+        """Like :meth:`reconstruct_point`, served from the LRU slice cache.
+
+        The cache groups refined reconstructions by timestamp, so any batch
+        of queries touching the same ``(traj_id, t)`` pair -- different
+        STRQs sharing candidates, overlapping TPQ path windows, exact-match
+        pre-filters -- pays the prediction roll-forward and CQC decoding
+        once.  Absent pairs are cached negatively, which keeps repeated path
+        probes past a trajectory's end cheap.  Returned arrays are shared
+        with the cache: treat them as read-only.
+        """
+        entry = self._slice_entry(int(t), bool(use_cqc))
+        traj_id = int(traj_id)
+        if traj_id in entry:
+            self.slice_cache.hits += 1
+            return entry[traj_id]
+        self.slice_cache.misses += 1
+        point = self.reconstruct_point(traj_id, int(t), use_cqc=use_cqc)
+        entry[traj_id] = point
+        return point
+
+    def reconstruct_slice(self, t: int, use_cqc: bool = True) -> dict[int, np.ndarray]:
+        """Reconstruct every trajectory active at ``t``, with LRU caching.
+
+        Returns a mapping trajectory ID -> reconstructed position, identical
+        point-for-point to calling :meth:`reconstruct_point` for each ID in
+        :meth:`trajectories_at`.  The underlying per-timestamp cache entry is
+        shared with :meth:`reconstruct_point_cached`, so slices already
+        touched by batched queries complete in cache hits (and vice versa).
+        """
+        entry = self._slice_entry(int(t), bool(use_cqc))
+        for traj_id in self.trajectories_at(t):
+            if traj_id in entry:
+                self.slice_cache.hits += 1
+            else:
+                self.slice_cache.misses += 1
+                entry[traj_id] = self.reconstruct_point(traj_id, int(t), use_cqc=use_cqc)
+        return {tid: point for tid, point in entry.items() if point is not None}
+
+    def _slice_entry(self, t: int, use_cqc: bool) -> dict[int, np.ndarray | None]:
+        """The (lazily filled) cache entry for one ``(t, use_cqc)`` key.
+
+        Hit/miss counters are the caller's job: they track whether individual
+        *points* were served from cache, not whether the entry dict existed.
+        """
+        key = (t, use_cqc)
+        entry = self.slice_cache.get(key, record=False)
+        if entry is None:
+            entry = {}
+            self.slice_cache.put(key, entry)
+        return entry
 
     def _base_reconstruction(self, traj_id: int, t: int) -> np.ndarray | None:
         """The ε₁-bounded reconstruction, from cache or recomputed on demand."""

@@ -19,10 +19,26 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 
 def search_radius(grid_size: float) -> float:
     """Lemma 3 deviation bound ``√2/2 · g_s`` for a CQC grid size."""
     return math.sqrt(2.0) / 2.0 * float(grid_size)
+
+
+def within_radius_mask(points: np.ndarray, center: tuple[float, float],
+                       radius: float) -> np.ndarray:
+    """Broadcast distance filter: which ``points`` lie within ``radius``.
+
+    Vectorised replacement for per-point ``norm(p - center) <= radius``
+    checks; :func:`cells_within_radius` uses it to test every candidate
+    cell's nearest point against the disc in one NumPy operation.  Boundary
+    points (distance exactly ``radius``) are kept (closed disc).
+    """
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
+    delta = points - np.asarray(center, dtype=float)
+    return np.einsum("ij,ij->i", delta, delta) <= float(radius) ** 2
 
 
 def neighbor_cells(cell: tuple[int, int], include_center: bool = True) -> list[tuple[int, int]]:
@@ -60,14 +76,16 @@ def cells_within_radius(point: tuple[float, float], radius: float, origin: tuple
     max_ix = math.floor((px + radius - ox) / cell_size)
     min_iy = math.floor((py - radius - oy) / cell_size)
     max_iy = math.floor((py + radius - oy) / cell_size)
-    cells = []
-    for ix in range(min_ix, max_ix + 1):
-        for iy in range(min_iy, max_iy + 1):
-            # Keep the cell if its rectangle intersects the disc.
-            cell_min_x = ox + ix * cell_size
-            cell_min_y = oy + iy * cell_size
-            nearest_x = min(max(px, cell_min_x), cell_min_x + cell_size)
-            nearest_y = min(max(py, cell_min_y), cell_min_y + cell_size)
-            if (nearest_x - px) ** 2 + (nearest_y - py) ** 2 <= radius ** 2:
-                cells.append((ix, iy))
-    return cells
+    # Broadcast the disc/rectangle intersection test over the whole candidate
+    # block: a cell intersects the disc iff its nearest point to the query is
+    # within the radius.
+    ix, iy = np.meshgrid(np.arange(min_ix, max_ix + 1), np.arange(min_iy, max_iy + 1),
+                         indexing="ij")
+    cell_min_x = ox + ix * cell_size
+    cell_min_y = oy + iy * cell_size
+    nearest = np.stack(
+        [np.clip(px, cell_min_x, cell_min_x + cell_size),
+         np.clip(py, cell_min_y, cell_min_y + cell_size)], axis=-1,
+    )
+    mask = within_radius_mask(nearest.reshape(-1, 2), (px, py), radius).reshape(ix.shape)
+    return [(int(cx), int(cy)) for cx, cy in zip(ix[mask], iy[mask])]

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.config import IndexConfig
 from repro.data.trajectory import TrajectoryDataset
 from repro.index.tpi import TemporalPartitionIndex
@@ -216,7 +214,8 @@ class DiskBackedIndex:
         if offset is not None:
             begin, length = offset
             first = location.start_page + begin // self.store.page_size_bytes
-            last = location.start_page + max(begin, begin + length - 1) // self.store.page_size_bytes
+            last = (location.start_page
+                    + max(begin, begin + length - 1) // self.store.page_size_bytes)
             last = min(last, location.start_page + location.num_pages - 1)
             pages_to_read.update(range(first, last + 1))
         for page in sorted(pages_to_read):

@@ -23,6 +23,17 @@ from repro.index.idcodec import CompressedIdList, compress_ids, decompress_ids
 from repro.index.rectangles import Rect
 
 
+def encode_cells(cells: np.ndarray) -> np.ndarray:
+    """Pack integer ``(cx, cy)`` cell indices into sortable int64 codes.
+
+    The encoding ``(cx << 32) + cy`` is injective for cell indices below
+    2^31 in magnitude (far beyond any geographic grid) and is shared by
+    :meth:`GridIndex.encoded_table` and the batched PI lookups.
+    """
+    cells = np.asarray(cells, dtype=np.int64)
+    return (cells[..., 0] << np.int64(32)) + cells[..., 1]
+
+
 class GridIndex:
     """Uniform grid over one rectangle, mapping cells to trajectory-ID lists.
 
@@ -45,6 +56,14 @@ class GridIndex:
         self._cells: dict[tuple[int, int], CompressedIdList] = {}
         # Staging area used while the index is being populated.
         self._staging: dict[tuple[int, int], set[int]] = {}
+        # Lazily decoded posting lists (cell -> tuple of IDs).  Queries pay
+        # the Huffman decode of a cell at most once between inserts; the
+        # cache is derivable from the compressed lists, so it is not charged
+        # to the index's storage accounting.
+        self._decoded: dict[tuple[int, int], tuple[int, ...]] = {}
+        # Sorted encoded-cell lookup table for the batched query path
+        # (built lazily by encoded_table, invalidated on insert).
+        self._table: tuple[np.ndarray, list[tuple[int, ...]]] | None = None
 
     # ------------------------------------------------------------------ #
     # population
@@ -78,6 +97,8 @@ class GridIndex:
             if existing is not None:
                 ids.update(decompress_ids(existing))
             self._cells[cell] = compress_ids(ids)
+            self._decoded.pop(cell, None)
+        self._table = None
         self._staging.clear()
 
     # ------------------------------------------------------------------ #
@@ -87,12 +108,57 @@ class GridIndex:
         """Globally-anchored grid cell indices of a point."""
         return int(math.floor(x / self.cell_size)), int(math.floor(y / self.cell_size))
 
+    def cells_of(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cell_of` for an ``(n, 2)`` array of points.
+
+        Returns an ``(n, 2)`` integer array of cell indices, identical row by
+        row to calling :meth:`cell_of` on each point.
+        """
+        points = np.asarray(points, dtype=float)
+        return np.floor(points / self.cell_size).astype(np.int64)
+
     def ids_in_cell(self, cell: tuple[int, int]) -> list[int]:
         """Trajectory IDs stored in one grid cell (empty list if none)."""
-        compressed = self._cells.get(cell)
-        if compressed is None:
-            return []
-        return decompress_ids(compressed)
+        decoded = self._decoded.get(cell)
+        if decoded is None:
+            compressed = self._cells.get(cell)
+            if compressed is None:
+                return []
+            self._decoded[cell] = decoded = tuple(decompress_ids(compressed))
+        return list(decoded)
+
+    def decoded_postings(self) -> dict[tuple[int, int], tuple[int, ...]]:
+        """Decode every posting list once and return the cell -> IDs map.
+
+        The batched lookups read this map directly, turning per-query
+        posting-list decompression into one decode per cell per index
+        lifetime.  Treat the returned mapping (and its tuples) as read-only;
+        it is invalidated cell by cell on insert.
+        """
+        if len(self._decoded) != len(self._cells):
+            for cell, compressed in self._cells.items():
+                if cell not in self._decoded:
+                    self._decoded[cell] = tuple(decompress_ids(compressed))
+        return self._decoded
+
+    def encoded_table(self) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+        """Sorted encoded-cell table for batched lookups.
+
+        Returns ``(codes, postings)`` where ``codes`` is a sorted int64 array
+        of :func:`encode_cells`-encoded non-empty cells and ``postings[i]``
+        is the decoded ID tuple of ``codes[i]``.  Batched lookups resolve all
+        candidate cells of all queries against this table with a single
+        ``searchsorted`` per grid, instead of one dict probe per (query,
+        cell) pair.  Rebuilt lazily after inserts.
+        """
+        if self._table is None:
+            postings = self.decoded_postings()
+            cells = np.array(list(postings), dtype=np.int64).reshape(-1, 2)
+            codes = encode_cells(cells)
+            lists = list(postings.values())
+            order = np.argsort(codes, kind="stable")
+            self._table = (codes[order], [lists[i] for i in order.tolist()])
+        return self._table
 
     def lookup(self, x: float, y: float) -> list[int]:
         """Trajectory IDs stored in the cell containing ``(x, y)``."""

@@ -20,8 +20,13 @@ import numpy as np
 from repro.core.config import IndexConfig
 from repro.core.partitioning import partition_points
 from repro.cqc.local_search import cells_within_radius, neighbor_cells
-from repro.index.grid import GridIndex
+from repro.index.grid import GridIndex, encode_cells
 from repro.index.rectangles import Rect, minimum_bounding_rect, remove_overlap
+
+#: Cell offsets of the 3x3 local-search neighbourhood (``r <= g_c`` case),
+#: pre-built for the broadcast path of :meth:`PartitionIndex.lookup_local_batch`.
+_NEIGHBOR_OFFSETS = np.array([(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)],
+                             dtype=np.int64)
 
 
 @dataclass
@@ -45,6 +50,9 @@ class PartitionIndex:
     grids: list[GridIndex] = field(default_factory=list)
     config: IndexConfig = field(default_factory=IndexConfig)
     baseline_density: list[float] = field(default_factory=list)
+    # Cached (num_grids, 5) matrix of rectangle bounds + cell size, rebuilt
+    # lazily when the grid list grows (rectangles themselves are immutable).
+    _bounds: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # building / updating
@@ -125,6 +133,113 @@ class PartitionIndex:
             if grid.covers(x, y):
                 result.update(grid.lookup(x, y))
         return sorted(result)
+
+    def lookup_batch(self, points: np.ndarray) -> list[list[int]]:
+        """Vectorised :meth:`lookup` for many query points at once.
+
+        One pass is made over the grids: each grid tests every query point
+        against its rectangle with a single vectorised containment check and
+        resolves all matching queries' cells against its sorted encoded-cell
+        table in one ``searchsorted``.  Entry ``i`` of the result is exactly
+        ``self.lookup(points[i, 0], points[i, 1])``.
+        """
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        found: list[set[int]] = [set() for _ in range(len(points))]
+        if len(points) == 0:
+            return []
+        inside = self._containment_matrix(points, slack=None)
+        for gi in np.nonzero(inside.any(axis=1))[0]:
+            grid = self.grids[gi]
+            queries = np.nonzero(inside[gi])[0]
+            codes = encode_cells(grid.cells_of(points[queries]))
+            self._scatter_postings(grid, codes, queries, found)
+        return [sorted(ids) for ids in found]
+
+    def lookup_local_batch(self, points: np.ndarray, radius: float) -> list[list[int]]:
+        """Vectorised :meth:`lookup_local` for many query points at once.
+
+        Same candidate semantics as the scalar version (entry ``i`` equals
+        ``self.lookup_local(points[i, 0], points[i, 1], radius)``), but the
+        rectangle slack test is broadcast over the whole batch and every
+        query's candidate cells are matched against the grid's encoded-cell
+        table with a single ``searchsorted`` per grid.
+        """
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        found: list[set[int]] = [set() for _ in range(len(points))]
+        if len(points) == 0:
+            return []
+        inside = self._containment_matrix(points, slack=max(radius, 0.0))
+        for gi in np.nonzero(inside.any(axis=1))[0]:
+            grid = self.grids[gi]
+            queries = np.nonzero(inside[gi])[0]
+            if radius > grid.cell_size:
+                per_query_cells = [
+                    cells_within_radius(
+                        (points[qi, 0], points[qi, 1]), radius, (0.0, 0.0), grid.cell_size
+                    )
+                    for qi in queries
+                ]
+                lengths = [len(cells) for cells in per_query_cells]
+                flat = [cell for cells in per_query_cells for cell in cells]
+                codes = encode_cells(np.asarray(flat, dtype=np.int64).reshape(-1, 2))
+                owners = np.repeat(queries, lengths)
+            else:
+                # 3x3 neighbourhood per query, broadcast in one shot.
+                blocks = (grid.cells_of(points[queries])[:, None, :]
+                          + _NEIGHBOR_OFFSETS[None, :, :])
+                codes = encode_cells(blocks).ravel()
+                owners = np.repeat(queries, _NEIGHBOR_OFFSETS.shape[0])
+            self._scatter_postings(grid, codes, owners, found)
+        return [sorted(ids) for ids in found]
+
+    def _containment_matrix(self, points: np.ndarray, slack: float | None) -> np.ndarray:
+        """Boolean (num_grids, num_points) rectangle-containment matrix.
+
+        ``slack`` of ``None`` tests the rectangles as-is; otherwise each
+        rectangle is expanded by ``slack + cell_size`` on every side, exactly
+        like the scalar local-search lookup.  One broadcast replaces a
+        Python-level rectangle test per (grid, query) pair.
+        """
+        bounds = self._grid_bounds()
+        if len(bounds) == 0:
+            return np.zeros((0, len(points)), dtype=bool)
+        margin = 0.0 if slack is None else slack + bounds[:, 4]
+        min_x = bounds[:, 0] - margin
+        min_y = bounds[:, 1] - margin
+        max_x = bounds[:, 2] + margin
+        max_y = bounds[:, 3] + margin
+        xs = points[:, 0]
+        ys = points[:, 1]
+        return ((xs >= min_x[:, None]) & (xs <= max_x[:, None])
+                & (ys >= min_y[:, None]) & (ys <= max_y[:, None]))
+
+    def _grid_bounds(self) -> np.ndarray:
+        """Cached per-grid ``(min_x, min_y, max_x, max_y, cell_size)`` rows."""
+        if self._bounds is None or len(self._bounds) != len(self.grids):
+            self._bounds = np.array(
+                [[g.rect.min_x, g.rect.min_y, g.rect.max_x, g.rect.max_y, g.cell_size]
+                 for g in self.grids], dtype=float,
+            ).reshape(len(self.grids), 5)
+        return self._bounds
+
+    @staticmethod
+    def _scatter_postings(grid: GridIndex, codes: np.ndarray, owners: np.ndarray,
+                          found: list[set[int]]) -> None:
+        """Union each matched cell's postings into its owning query's set.
+
+        ``codes`` are encoded candidate cells, ``owners`` the parallel array
+        of query indices.  Cells are matched against the grid's sorted table
+        with one ``searchsorted``; only non-empty cells reach the Python
+        loop.
+        """
+        table_codes, table_postings = grid.encoded_table()
+        if len(table_codes) == 0 or len(codes) == 0:
+            return
+        positions = np.searchsorted(table_codes, codes)
+        positions[positions == len(table_codes)] = 0
+        hits = table_codes[positions] == codes
+        for qi, pos in zip(owners[hits].tolist(), positions[hits].tolist()):
+            found[qi].update(table_postings[pos])
 
     def lookup_local(self, x: float, y: float, radius: float) -> list[int]:
         """Local-search lookup (Section 5.2) around ``(x, y)``.

@@ -18,7 +18,7 @@ The TPI therefore produces a sequence of time periods, each with one PI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -76,7 +76,8 @@ class TemporalPartitionIndex:
     # ------------------------------------------------------------------ #
     # building
     # ------------------------------------------------------------------ #
-    def build(self, dataset: TrajectoryDataset, t_max: int | None = None) -> "TemporalPartitionIndex":
+    def build(self, dataset: TrajectoryDataset,
+              t_max: int | None = None) -> "TemporalPartitionIndex":
         """Consume the dataset timestamp by timestamp (Algorithm 4)."""
         import time as _time
 
@@ -183,6 +184,65 @@ class TemporalPartitionIndex:
         if period is None:
             return []
         return period.index.lookup_local(x, y, radius)
+
+    # ------------------------------------------------------------------ #
+    # batched lookup
+    # ------------------------------------------------------------------ #
+    def period_indices_for(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`period_for`: index into :attr:`periods` per query.
+
+        Returns an integer array aligned with ``ts``; entries are ``-1`` for
+        timestamps not covered by any period.  Periods are non-overlapping
+        and sorted by start, so one ``searchsorted`` resolves every query.
+        """
+        ts = np.asarray(ts, dtype=np.int64)
+        if not self.periods or len(ts) == 0:
+            return np.full(len(ts), -1, dtype=np.int64)
+        starts = np.asarray([p.start for p in self.periods], dtype=np.int64)
+        ends = np.asarray([p.end for p in self.periods], dtype=np.int64)
+        idx = np.searchsorted(starts, ts, side="right") - 1
+        clipped = np.clip(idx, 0, len(self.periods) - 1)
+        valid = (idx >= 0) & (ts <= ends[clipped])
+        return np.where(valid, clipped, -1)
+
+    def lookup_batch(self, xs: np.ndarray, ys: np.ndarray, ts: np.ndarray) -> list[list[int]]:
+        """Batched :meth:`lookup`: one candidate list per ``(x, y, t)`` query.
+
+        Queries are grouped by the time period covering their timestamp and
+        each period's PI is scanned once for all of its queries, so the cost
+        of iterating rectangles is paid per period instead of per query.
+        Entry ``i`` equals ``self.lookup(xs[i], ys[i], ts[i])``.
+        """
+        return self._dispatch_batch(xs, ys, ts, radius=None)
+
+    def lookup_local_batch(self, xs: np.ndarray, ys: np.ndarray, ts: np.ndarray,
+                           radius: float) -> list[list[int]]:
+        """Batched :meth:`lookup_local`; entry ``i`` matches the scalar call."""
+        return self._dispatch_batch(xs, ys, ts, radius=radius)
+
+    def _dispatch_batch(self, xs: np.ndarray, ys: np.ndarray, ts: np.ndarray,
+                        radius: float | None) -> list[list[int]]:
+        """Group queries by period and fan them out to the per-period PIs."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        ts = np.asarray(ts, dtype=np.int64)
+        if not (len(xs) == len(ys) == len(ts)):
+            raise ValueError("xs, ys and ts must be aligned")
+        results: list[list[int]] = [[] for _ in range(len(ts))]
+        period_idx = self.period_indices_for(ts)
+        points = np.column_stack([xs, ys]) if len(ts) else np.empty((0, 2))
+        for pidx in np.unique(period_idx):
+            if pidx < 0:
+                continue
+            queries = np.nonzero(period_idx == pidx)[0]
+            pi = self.periods[int(pidx)].index
+            if radius is None:
+                answers = pi.lookup_batch(points[queries])
+            else:
+                answers = pi.lookup_local_batch(points[queries], radius)
+            for qi, ids in zip(queries, answers):
+                results[int(qi)] = ids
+        return results
 
     # ------------------------------------------------------------------ #
     # statistics

@@ -75,7 +75,8 @@ def aggregate_precision_recall(per_query: Sequence[tuple[float, float]]) -> tupl
     return float(arr[:, 0].mean()), float(arr[:, 1].mean())
 
 
-def path_mean_absolute_error(summary, dataset: TrajectoryDataset, queries: Sequence[tuple[int, int]],
+def path_mean_absolute_error(summary, dataset: TrajectoryDataset,
+                             queries: Sequence[tuple[int, int]],
                              length: int, in_meters: bool = True) -> float:
     """MAE of TPQ sub-trajectory reconstructions.
 
@@ -98,7 +99,8 @@ def path_mean_absolute_error(summary, dataset: TrajectoryDataset, queries: Seque
             continue
         if int(traj_id) not in dataset:
             continue
-        truth = dataset.get(int(traj_id)).segment(int(t_start), int(t_start) + len(reconstruction) - 1)
+        t_end = int(t_start) + len(reconstruction) - 1
+        truth = dataset.get(int(traj_id)).segment(int(t_start), t_end)
         m = min(len(truth), len(reconstruction))
         if m == 0:
             continue

@@ -4,6 +4,8 @@
 * :mod:`repro.queries.tpq` -- trajectory path queries (Definition 5.3).
 * :mod:`repro.queries.exact` -- exact-match filtering with the CQC-driven
   local-search strategy.
+* :mod:`repro.queries.batch` -- batched execution of mixed workloads with
+  vectorised index scans and cached slice reconstructions.
 * :mod:`repro.queries.engine` -- :class:`QueryEngine`, a convenience object
   tying a summary and a TPI together and exposing all query types.
 """
@@ -11,6 +13,14 @@
 from repro.queries.strq import STRQResult, spatio_temporal_range_query
 from repro.queries.tpq import TPQResult, trajectory_path_query
 from repro.queries.exact import ExactQueryResult, exact_match_query
+from repro.queries.batch import (
+    QuerySpec,
+    Workload,
+    batch_exact,
+    batch_strq,
+    batch_tpq,
+    load_workload,
+)
 from repro.queries.engine import QueryEngine
 
 __all__ = [
@@ -20,5 +30,11 @@ __all__ = [
     "trajectory_path_query",
     "ExactQueryResult",
     "exact_match_query",
+    "QuerySpec",
+    "Workload",
+    "batch_strq",
+    "batch_tpq",
+    "batch_exact",
+    "load_workload",
     "QueryEngine",
 ]

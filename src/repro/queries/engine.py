@@ -15,6 +15,7 @@ from repro.core.summary import TrajectorySummary
 from repro.cqc.local_search import search_radius
 from repro.data.trajectory import Trajectory, TrajectoryDataset
 from repro.index.tpi import TemporalPartitionIndex
+from repro.queries.batch import QuerySpec, Workload, batch_exact, batch_strq, batch_tpq
 from repro.queries.exact import ExactQueryResult, exact_match_query
 from repro.queries.strq import STRQResult, spatio_temporal_range_query
 from repro.queries.tpq import TPQResult, trajectory_path_query
@@ -54,10 +55,8 @@ class QueryEngine:
         """Materialise the reconstructed points as a dataset for indexing."""
         per_traj: dict[int, list[tuple[int, np.ndarray]]] = {}
         for t in self.summary.timestamps:
-            for tid in self.summary.trajectories_at(t):
-                point = self.summary.reconstruct_point(tid, t)
-                if point is not None:
-                    per_traj.setdefault(tid, []).append((t, point))
+            for tid, point in self.summary.reconstruct_slice(t).items():
+                per_traj.setdefault(tid, []).append((t, point))
         trajectories = []
         for tid, entries in per_traj.items():
             entries.sort(key=lambda item: item[0])
@@ -99,6 +98,84 @@ class QueryEngine:
             self.index, self.summary, self.raw_dataset, x, y, t,
             cell_size=self.index_config.grid_cell,
         )
+
+    def run_batch(self, workload) -> list[STRQResult | TPQResult | ExactQueryResult]:
+        """Execute a mixed STRQ/TPQ/exact workload with shared scans.
+
+        Queries are grouped by kind and answered through the batched
+        functions of :mod:`repro.queries.batch`: candidate generation is one
+        vectorised TPI pass per kind, and reconstructions are shared through
+        the summary's LRU slice cache.  Results come back in workload order
+        and are identical to running each query through :meth:`strq`,
+        :meth:`tpq` or :meth:`exact` individually.
+
+        Parameters
+        ----------
+        workload:
+            A :class:`~repro.queries.batch.Workload`, or any iterable of
+            :class:`~repro.queries.batch.QuerySpec` / dict entries (dicts use
+            the workload-file schema: ``type``, ``x``, ``y``, ``t`` and, for
+            TPQ, ``length``).
+
+        Examples
+        --------
+        ::
+
+            workload = Workload.from_obj([
+                {"type": "strq", "x": -8.62, "y": 41.16, "t": 20},
+                {"type": "tpq", "x": -8.62, "y": 41.16, "t": 20, "length": 10},
+                {"type": "exact", "x": -8.60, "y": 41.15, "t": 35},
+            ])
+            results = engine.run_batch(workload)
+            strq_result, tpq_result, exact_result = results
+        """
+        specs = self._normalize_workload(workload)
+        radius = self.local_search_radius
+        by_kind: dict[str, list[int]] = {"strq": [], "tpq": [], "exact": []}
+        for position, spec in enumerate(specs):
+            by_kind[spec.kind].append(position)
+        if by_kind["exact"] and self.raw_dataset is None:
+            raise RuntimeError("exact queries require the raw dataset")
+
+        results: list = [None] * len(specs)
+        if by_kind["strq"]:
+            answers = batch_strq(
+                self.index, [specs[i] for i in by_kind["strq"]],
+                summary=self.summary, local_search_radius=radius,
+            )
+            for position, answer in zip(by_kind["strq"], answers):
+                results[position] = answer
+        if by_kind["tpq"]:
+            answers = batch_tpq(
+                self.index, self.summary, [specs[i] for i in by_kind["tpq"]],
+                local_search_radius=radius,
+            )
+            for position, answer in zip(by_kind["tpq"], answers):
+                results[position] = answer
+        if by_kind["exact"]:
+            answers = batch_exact(
+                self.index, self.summary, self.raw_dataset,
+                [specs[i] for i in by_kind["exact"]],
+                cell_size=self.index_config.grid_cell,
+            )
+            for position, answer in zip(by_kind["exact"], answers):
+                results[position] = answer
+        return results
+
+    @staticmethod
+    def _normalize_workload(workload) -> list[QuerySpec]:
+        """Coerce a workload argument into a list of :class:`QuerySpec`."""
+        if isinstance(workload, Workload):
+            return list(workload.queries)
+        specs = []
+        for entry in workload:
+            if isinstance(entry, QuerySpec):
+                specs.append(entry)
+            elif isinstance(entry, dict):
+                specs.append(QuerySpec.from_dict(entry))
+            else:
+                raise TypeError(f"unsupported workload entry: {entry!r}")
+        return specs
 
     def predict_next_positions(self, traj_id: int, t: int, horizon: int = 5) -> np.ndarray:
         """Forecast future positions of a trajectory from the summary.

@@ -84,15 +84,7 @@ def exact_match_query(index: TemporalPartitionIndex, summary: TrajectorySummary,
             filtered.append(tid)
 
     # Verification step against the raw data.
-    matches = []
-    for tid in filtered:
-        if tid not in dataset:
-            continue
-        raw = dataset.get(tid).point_at(int(t))
-        if raw is None:
-            continue
-        if np.floor(raw[0] / cell_size) == cell_x and np.floor(raw[1] / cell_size) == cell_y:
-            matches.append(tid)
+    matches = verify_against_raw(dataset, filtered, int(t), cell_x, cell_y, cell_size)
 
     active = len(dataset.time_slice(int(t)))
     visited_ratio = len(filtered) / active if active else 0.0
@@ -100,6 +92,21 @@ def exact_match_query(index: TemporalPartitionIndex, summary: TrajectorySummary,
         x=float(x), y=float(y), t=int(t),
         candidates=filtered, matches=matches, visited_ratio=visited_ratio,
     )
+
+
+def verify_against_raw(dataset: TrajectoryDataset, candidates, t: int, cell_x: float,
+                       cell_y: float, cell_size: float) -> list[int]:
+    """Confirm candidates whose raw point at ``t`` falls in the query cell."""
+    matches = []
+    for tid in candidates:
+        if tid not in dataset:
+            continue
+        raw = dataset.get(tid).point_at(int(t))
+        if raw is None:
+            continue
+        if np.floor(raw[0] / cell_size) == cell_x and np.floor(raw[1] / cell_size) == cell_y:
+            matches.append(tid)
+    return matches
 
 
 def ground_truth_cell_members(dataset: TrajectoryDataset, x: float, y: float, t: int,
@@ -115,11 +122,24 @@ def ground_truth_cell_members(dataset: TrajectoryDataset, x: float, y: float, t:
     return sorted(int(tid) for tid in slice_.traj_ids[mask])
 
 
-def _could_match(point: np.ndarray, cell_x: float, cell_y: float, cell_size: float,
-                 slack: float) -> bool:
-    """Whether a reconstructed point could correspond to a raw point in the cell."""
+def could_match_mask(points: np.ndarray, cell_x: float, cell_y: float, cell_size: float,
+                     slack: float) -> np.ndarray:
+    """Vectorised pre-filter: which reconstructed points could match the cell.
+
+    A reconstructed point can correspond to a raw point inside the query's
+    ``g_c`` cell only if it lies within the cell expanded by ``slack`` (the
+    CQC deviation bound) on every side.  Broadcasts over an ``(n, 2)`` array.
+    """
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
     min_x = cell_x * cell_size - slack
     max_x = (cell_x + 1) * cell_size + slack
     min_y = cell_y * cell_size - slack
     max_y = (cell_y + 1) * cell_size + slack
-    return min_x <= point[0] <= max_x and min_y <= point[1] <= max_y
+    return ((points[:, 0] >= min_x) & (points[:, 0] <= max_x)
+            & (points[:, 1] >= min_y) & (points[:, 1] <= max_y))
+
+
+def _could_match(point: np.ndarray, cell_x: float, cell_y: float, cell_size: float,
+                 slack: float) -> bool:
+    """Whether a reconstructed point could correspond to a raw point in the cell."""
+    return bool(could_match_mask(point, cell_x, cell_y, cell_size, slack)[0])

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.config import PPQConfig, PartitionCriterion
+from repro.core.config import PPQConfig
 from repro.core.partitioning import IncrementalPartitioner, partition_points
 
 

@@ -112,6 +112,7 @@ class TestPredictionBenefit:
 class TestMAEOrdering:
     def test_cqc_variant_has_lower_mae_than_basic(self, porto_small):
         config = PPQConfig(epsilon1=0.001)
-        basic = PartitionwisePredictiveQuantizer(config, CQCConfig(enabled=False)).summarize(porto_small)
+        basic = PartitionwisePredictiveQuantizer(
+            config, CQCConfig(enabled=False)).summarize(porto_small)
         full = PartitionwisePredictiveQuantizer(config, CQCConfig()).summarize(porto_small)
         assert mean_absolute_error(full, porto_small) < mean_absolute_error(basic, porto_small)

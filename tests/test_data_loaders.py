@@ -1,6 +1,5 @@
 """Tests for the real-dataset loaders (exercised on small fixture files)."""
 
-import numpy as np
 import pytest
 
 from repro.data.loaders import iter_dataset_chunks, load_plt_directory, load_porto_csv

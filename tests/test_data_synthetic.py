@@ -1,8 +1,6 @@
 """Tests for the synthetic workload generators."""
 
 import numpy as np
-import pytest
-
 from repro.data.synthetic import (
     GEOLIFE_LIKE,
     PORTO_LIKE,

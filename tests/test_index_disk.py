@@ -1,6 +1,5 @@
 """Tests for the simulated page store and disk-backed index."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import IndexConfig

@@ -84,7 +84,8 @@ class TestSubtract:
         pieces = a.subtract(b)
         overlap = a.intersection(b)
         overlap_area = overlap.area if overlap else 0.0
-        assert sum(p.area for p in pieces) == pytest.approx(a.area - overlap_area, rel=1e-6, abs=1e-9)
+        assert sum(p.area for p in pieces) == pytest.approx(
+            a.area - overlap_area, rel=1e-6, abs=1e-9)
 
     @settings(max_examples=60, deadline=None)
     @given(rect_strategy(), rect_strategy(), st.integers(0, 10_000))

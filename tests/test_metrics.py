@@ -52,7 +52,8 @@ def tiny_dataset():
 
 class TestMAE:
     def test_perfect_summary_has_zero_mae(self, tiny_dataset):
-        assert mean_absolute_error(perfect_summary(tiny_dataset), tiny_dataset) == pytest.approx(0.0)
+        mae = mean_absolute_error(perfect_summary(tiny_dataset), tiny_dataset)
+        assert mae == pytest.approx(0.0)
 
     def test_constant_shift_gives_exact_mae(self, tiny_dataset):
         shift = np.array([0.001, 0.0])

@@ -24,7 +24,8 @@ from repro.metrics.accuracy import precision_recall, reconstruction_errors
 from repro.queries.exact import ground_truth_cell_members
 
 
-def random_walk_dataset(num_traj: int, length: int, step_scale: float, seed: int) -> TrajectoryDataset:
+def random_walk_dataset(num_traj: int, length: int, step_scale: float,
+                        seed: int) -> TrajectoryDataset:
     """Small random-walk workload used as the property-test input."""
     rng = np.random.default_rng(seed)
     trajectories = []

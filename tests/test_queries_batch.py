@@ -1,0 +1,277 @@
+"""Tests for the batch query subsystem.
+
+The contract of :mod:`repro.queries.batch` is exact equivalence: a batched
+call must return, query by query, the same results as running the scalar
+query functions in a loop.  These tests enforce that on randomized
+workloads (including off-trajectory probes and timestamps outside the
+stream) and cover the workload spec parsing and the LRU reconstruction
+cache.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.summary import ReconstructionCache
+from repro.queries.batch import (
+    QuerySpec,
+    Workload,
+    batch_exact,
+    batch_strq,
+    batch_tpq,
+    load_workload,
+)
+from repro.queries.engine import QueryEngine
+from repro.queries.exact import exact_match_query
+from repro.queries.strq import spatio_temporal_range_query
+from repro.queries.tpq import trajectory_path_query
+
+
+def random_probes(dataset, num, seed, jitter=0.0):
+    """Random (x, y, t) probes on (or near, with jitter) trajectory points."""
+    rng = np.random.default_rng(seed)
+    probes = []
+    for _ in range(num):
+        tid = int(rng.choice(dataset.trajectory_ids))
+        traj = dataset.get(tid)
+        t = int(rng.integers(0, len(traj)))
+        x, y = traj.points[t] + rng.normal(0.0, jitter, 2)
+        probes.append((float(x), float(y), int(t)))
+    return probes
+
+
+@pytest.fixture(scope="module")
+def engine(fitted_ppq_s) -> QueryEngine:
+    return fitted_ppq_s.engine
+
+
+class TestBatchSTRQ:
+    def test_equivalent_to_sequential_with_local_search(self, engine, porto_small):
+        probes = random_probes(porto_small, 30, seed=0, jitter=5e-4)
+        radius = engine.local_search_radius
+        batched = batch_strq(engine.index, probes, summary=engine.summary,
+                             local_search_radius=radius)
+        for (x, y, t), batch in zip(probes, batched):
+            scalar = spatio_temporal_range_query(
+                engine.index, x, y, t, summary=engine.summary, local_search_radius=radius
+            )
+            assert scalar.candidates == batch.candidates
+            assert set(scalar.reconstructed) == set(batch.reconstructed)
+            for tid in scalar.reconstructed:
+                assert (scalar.reconstructed[tid].tobytes()
+                        == batch.reconstructed[tid].tobytes())
+
+    def test_equivalent_without_summary_or_local_search(self, engine, porto_small):
+        probes = random_probes(porto_small, 20, seed=1)
+        batched = batch_strq(engine.index, probes)
+        for (x, y, t), batch in zip(probes, batched):
+            scalar = spatio_temporal_range_query(engine.index, x, y, t)
+            assert scalar.candidates == batch.candidates
+            assert batch.reconstructed == {}
+
+    def test_queries_outside_stream_return_empty(self, engine):
+        batched = batch_strq(engine.index, [(0.0, 0.0, 99_999), (5.0, 5.0, -3)])
+        assert [b.candidates for b in batched] == [[], []]
+
+    def test_empty_batch(self, engine):
+        assert batch_strq(engine.index, []) == []
+
+    def test_accepts_query_specs(self, engine, porto_small):
+        x, y, t = random_probes(porto_small, 1, seed=2)[0]
+        spec = QuerySpec(kind="strq", x=x, y=y, t=t)
+        batched = batch_strq(engine.index, [spec], summary=engine.summary,
+                             local_search_radius=engine.local_search_radius)
+        assert batched[0].candidates == engine.strq(x, y, t).candidates
+
+
+class TestBatchTPQ:
+    def test_equivalent_to_sequential(self, engine, porto_small):
+        rng = np.random.default_rng(3)
+        probes = [(x, y, t, int(rng.integers(1, 15)))
+                  for x, y, t in random_probes(porto_small, 25, seed=3)]
+        radius = engine.local_search_radius
+        batched = batch_tpq(engine.index, engine.summary, probes,
+                            local_search_radius=radius)
+        for (x, y, t, length), batch in zip(probes, batched):
+            scalar = trajectory_path_query(
+                engine.index, engine.summary, x, y, t, length, local_search_radius=radius
+            )
+            assert set(scalar.paths) == set(batch.paths)
+            for tid in scalar.paths:
+                assert scalar.paths[tid].tobytes() == batch.paths[tid].tobytes()
+
+    def test_paths_truncated_at_stream_end_match_sequential(self, engine, porto_small):
+        t = max(porto_small.timestamps) - 2
+        probes = [(x, y, t, 10) for x, y, _ in random_probes(porto_small, 5, seed=4)]
+        radius = engine.local_search_radius
+        batched = batch_tpq(engine.index, engine.summary, probes, local_search_radius=radius)
+        for (x, y, t_q, length), batch in zip(probes, batched):
+            scalar = trajectory_path_query(
+                engine.index, engine.summary, x, y, t_q, length, local_search_radius=radius
+            )
+            assert set(scalar.paths) == set(batch.paths)
+            for tid, path in batch.paths.items():
+                assert len(path) <= 3
+
+    def test_invalid_length_rejected(self, engine):
+        with pytest.raises(ValueError):
+            batch_tpq(engine.index, engine.summary, [(0.0, 0.0, 5, 0)])
+
+
+class TestBatchExact:
+    def test_equivalent_to_sequential(self, engine, porto_small):
+        probes = random_probes(porto_small, 25, seed=5, jitter=3e-4)
+        cell = engine.index_config.grid_cell
+        batched = batch_exact(engine.index, engine.summary, porto_small, probes,
+                              cell_size=cell)
+        for (x, y, t), batch in zip(probes, batched):
+            scalar = exact_match_query(
+                engine.index, engine.summary, porto_small, x, y, t, cell_size=cell
+            )
+            assert scalar.candidates == batch.candidates
+            assert scalar.matches == batch.matches
+            assert scalar.visited_ratio == batch.visited_ratio
+
+
+class TestRunBatch:
+    def build_workload(self, dataset, num=24, seed=6):
+        kinds = ["strq", "tpq", "exact"]
+        specs = []
+        for i, (x, y, t) in enumerate(random_probes(dataset, num, seed=seed)):
+            kind = kinds[i % len(kinds)]
+            specs.append(QuerySpec(kind=kind, x=x, y=y, t=t,
+                                   length=8 if kind == "tpq" else 0))
+        return specs
+
+    def test_mixed_workload_order_and_equivalence(self, engine, porto_small):
+        specs = self.build_workload(porto_small)
+        results = engine.run_batch(specs)
+        assert len(results) == len(specs)
+        for spec, result in zip(specs, results):
+            assert (result.x, result.y, result.t) == (spec.x, spec.y, spec.t)
+            if spec.kind == "strq":
+                assert result.candidates == engine.strq(spec.x, spec.y, spec.t).candidates
+            elif spec.kind == "tpq":
+                scalar = engine.tpq(spec.x, spec.y, spec.t, spec.length)
+                assert set(result.paths) == set(scalar.paths)
+            else:
+                scalar = engine.exact(spec.x, spec.y, spec.t)
+                assert result.matches == scalar.matches
+
+    def test_accepts_workload_object_and_dicts(self, engine, porto_small):
+        x, y, t = random_probes(porto_small, 1, seed=7)[0]
+        as_dicts = [{"type": "strq", "x": x, "y": y, "t": t}]
+        workload = Workload.from_obj(as_dicts)
+        assert (engine.run_batch(workload)[0].candidates
+                == engine.run_batch(as_dicts)[0].candidates)
+
+    def test_exact_without_raw_dataset_rejected(self, engine):
+        detached = QueryEngine(engine.summary, engine.index_config, raw_dataset=None)
+        with pytest.raises(RuntimeError):
+            detached.run_batch([QuerySpec(kind="exact", x=0.0, y=0.0, t=0)])
+
+    def test_unsupported_entry_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.run_batch([("strq", 0.0, 0.0, 0)])
+
+
+class TestWorkloadSpec:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec(kind="nearest", x=0.0, y=0.0, t=0)
+
+    def test_tpq_requires_length(self):
+        with pytest.raises(ValueError):
+            QuerySpec(kind="tpq", x=0.0, y=0.0, t=0)
+
+    def test_from_dict_type_alias_and_counts(self):
+        workload = Workload.from_obj([
+            {"type": "strq", "x": 1.0, "y": 2.0, "t": 3},
+            {"kind": "tpq", "x": 1.0, "y": 2.0, "t": 3, "length": 4},
+        ])
+        assert workload.counts() == {"strq": 1, "tpq": 1, "exact": 0}
+        assert workload.queries[1].length == 4
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec.from_dict({"x": 0.0, "y": 0.0, "t": 0})
+
+    def test_non_list_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Workload.from_obj({"not_queries": []})
+
+    def test_load_workload_file_roundtrip(self, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps({"queries": [
+            {"type": "exact", "x": -8.6, "y": 41.1, "t": 12},
+        ]}))
+        workload = load_workload(path)
+        assert len(workload) == 1
+        assert workload.queries[0] == QuerySpec(kind="exact", x=-8.6, y=41.1, t=12)
+
+
+class TestReconstructionCache:
+    def test_hit_miss_counting(self):
+        cache = ReconstructionCache(capacity=4)
+        assert cache.get((0, True)) is None
+        cache.put((0, True), {1: np.zeros(2)})
+        assert cache.get((0, True)) is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ReconstructionCache(capacity=2)
+        cache.put((0, True), {})
+        cache.put((1, True), {})
+        cache.get((0, True))          # 0 becomes most recently used
+        cache.put((2, True), {})      # evicts 1
+        assert (1, True) not in cache
+        assert (0, True) in cache and (2, True) in cache
+        assert cache.evictions == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReconstructionCache(capacity=0)
+
+    def test_clear_keeps_counters(self):
+        cache = ReconstructionCache(capacity=2)
+        cache.put((0, True), {})
+        cache.get((0, True))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+
+class TestSummarySliceCache:
+    def test_slice_matches_per_point_reconstruction(self, fitted_ppq_s):
+        summary = fitted_ppq_s.summary
+        t = summary.timestamps[5]
+        slice_ = summary.reconstruct_slice(t)
+        assert set(slice_) == set(summary.trajectories_at(t))
+        for tid, point in slice_.items():
+            assert point.tobytes() == summary.reconstruct_point(tid, t).tobytes()
+
+    def test_repeated_access_hits_cache(self, fitted_ppq_s):
+        summary = fitted_ppq_s.summary
+        t = summary.timestamps[6]
+        tid = summary.trajectories_at(t)[0]
+        summary.reconstruct_point_cached(tid, t)
+        hits_before = summary.slice_cache.hits
+        first = summary.reconstruct_point_cached(tid, t)
+        second = summary.reconstruct_point_cached(tid, t)
+        assert summary.slice_cache.hits >= hits_before + 2
+        assert first is second  # served from the same cached entry
+
+    def test_negative_caching_for_absent_trajectories(self, fitted_ppq_s):
+        summary = fitted_ppq_s.summary
+        t = summary.timestamps[0]
+        assert summary.reconstruct_point_cached(987_654, t) is None
+        assert summary.reconstruct_point_cached(987_654, t) is None
+
+    def test_add_record_invalidates(self, fitted_ppq_s):
+        summary = fitted_ppq_s.summary
+        t = summary.timestamps[1]
+        summary.reconstruct_slice(t)
+        assert len(summary.slice_cache) > 0
+        summary.add_record(summary.records[t])  # re-adding still invalidates
+        assert len(summary.slice_cache) == 0
