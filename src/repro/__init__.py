@@ -18,7 +18,10 @@ A from-scratch Python reproduction of Wang & Ferhatosmanoglu, PVLDB 14(2),
 * :mod:`repro.data` -- the trajectory data model, synthetic Porto/GeoLife-like
   generators and loaders for the real datasets;
 * :mod:`repro.metrics` -- MAE, precision/recall, compression-ratio and timing
-  utilities used by the benchmark harness.
+  utilities used by the benchmark harness;
+* :mod:`repro.storage` -- versioned on-disk model artifacts
+  (:func:`save_model` / :func:`load_model`) for the build-once/serve-many
+  deployment split.
 """
 
 from repro.core.config import CQCConfig, IndexConfig, PPQConfig, PartitionCriterion
@@ -28,7 +31,9 @@ from repro.core.ppq import PartitionwisePredictiveQuantizer
 from repro.core.summary import TrajectorySummary
 from repro.queries.engine import QueryEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.storage import inspect_model, load_model, save_model  # noqa: E402
 
 __all__ = [
     "PPQTrajectory",
@@ -40,5 +45,8 @@ __all__ = [
     "ErrorBoundedPredictiveQuantizer",
     "TrajectorySummary",
     "QueryEngine",
+    "save_model",
+    "load_model",
+    "inspect_model",
     "__version__",
 ]

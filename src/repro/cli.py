@@ -1,24 +1,40 @@
-"""Command-line interface for compressing and querying trajectory repositories.
+"""Command-line interface for compressing, persisting and querying repositories.
 
-Two subcommands cover the end-to-end workflow:
+Five subcommands cover the build/serve workflow end to end:
 
 ``compress``
     Load a repository (Porto CSV, a GeoLife ``.plt`` directory, or a built-in
     synthetic workload), build the PPQ-trajectory summary and print the
     summary statistics (codebook size, compression ratio, MAE).
 
+``save``
+    Fit a repository and serialize the fitted model -- summary, codebook,
+    reconstructions and index -- to a versioned artifact file (the build
+    half of build-once/serve-many).
+
+``load``
+    Restore a saved artifact into a query-ready model and print what it
+    contains (checksums are verified on load).
+
+``info``
+    Describe an artifact without loading it: format version, per-section
+    sizes, checksum status and the stored configuration.
+
 ``query``
-    Compress a repository and answer spatio-temporal queries against it:
-    either a single STRQ/TPQ given by ``--x/--y/--t`` or a whole batch
-    workload file (``--workload``) executed through the batched engine.
+    Answer spatio-temporal queries -- a single STRQ/TPQ given by
+    ``--x/--y/--t`` or a whole batch workload file (``--workload``) --
+    against either a freshly fitted repository (dataset flags) or a saved
+    artifact (``--model``), without refitting.
 
 Examples
 --------
 ::
 
     python -m repro compress --synthetic porto --trajectories 100
-    python -m repro query --synthetic porto --x -8.62 --y 41.16 --t 20 --length 10
-    python -m repro query --synthetic porto --workload workload.json
+    python -m repro save --synthetic porto --trajectories 100 --output model.ppq
+    python -m repro info model.ppq
+    python -m repro query --model model.ppq --x -8.62 --y 41.16 --t 20 --length 10
+    python -m repro query --model model.ppq --workload workload.json
 """
 
 from __future__ import annotations
@@ -36,20 +52,31 @@ from repro.queries.batch import load_workload
 from repro.queries.exact import ExactQueryResult
 from repro.queries.strq import STRQResult
 from repro.queries.tpq import TPQResult
+from repro.storage import ArtifactError, inspect_model
 
 
 class _ReproArgumentParser(argparse.ArgumentParser):
     """Argument parser with cross-argument validation for ``query``.
 
     ``--x/--y/--t`` and ``--workload`` are alternative ways to specify the
-    queries; requiring one of them cannot be expressed with plain argparse
-    groups, so the check runs after parsing (still raising the usual
-    ``SystemExit`` with a usage message).
+    queries, and ``--model`` replaces the dataset flags; requiring exactly
+    one of each pair cannot be expressed with plain argparse groups, so the
+    checks run after parsing (still raising the usual ``SystemExit`` with a
+    usage message).
     """
 
     def parse_args(self, args=None, namespace=None):  # type: ignore[override]
         parsed = super().parse_args(args, namespace)
-        if getattr(parsed, "command", None) == "query" and not getattr(parsed, "workload", None):
+        if getattr(parsed, "command", None) != "query":
+            return parsed
+        has_dataset = bool(parsed.porto_csv or parsed.geolife_dir or parsed.synthetic)
+        if getattr(parsed, "model", None):
+            if has_dataset:
+                self.error("--model replaces the dataset flags; give one or the other")
+        elif not has_dataset:
+            self.error("query needs a dataset source "
+                       "(--porto-csv/--geolife-dir/--synthetic) or --model")
+        if not getattr(parsed, "workload", None):
             missing = [flag for flag, value in
                        (("--x", parsed.x), ("--y", parsed.y), ("--t", parsed.t))
                        if value is None]
@@ -70,9 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(compress)
     _add_quantizer_arguments(compress)
 
-    query = subparsers.add_parser("query", help="compress and run spatio-temporal queries")
-    _add_dataset_arguments(query)
+    save = subparsers.add_parser("save", help="fit a model and save it as an artifact")
+    _add_dataset_arguments(save)
+    _add_quantizer_arguments(save)
+    save.add_argument("--output", "-o", required=True,
+                      help="destination artifact file (conventionally *.ppq)")
+    save.add_argument("--no-raw", action="store_true",
+                      help="omit the raw trajectories (smaller artifact, "
+                           "but exact queries stop working after load)")
+
+    load = subparsers.add_parser("load", help="load an artifact and report what it serves")
+    load.add_argument("artifact", help="artifact file written by 'repro save'")
+
+    info = subparsers.add_parser("info", help="describe an artifact without loading it")
+    info.add_argument("artifact", help="artifact file written by 'repro save'")
+
+    query = subparsers.add_parser("query", help="run spatio-temporal queries against a "
+                                                "fitted repository or a saved artifact")
+    _add_dataset_arguments(query, required=False)
     _add_quantizer_arguments(query)
+    query.add_argument("--model", default=None,
+                       help="answer against this saved artifact instead of "
+                            "fitting a dataset")
     query.add_argument("--x", type=float, default=None, help="query x (longitude)")
     query.add_argument("--y", type=float, default=None, help="query y (latitude)")
     query.add_argument("--t", type=int, default=None, help="query timestamp")
@@ -84,8 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
-    source = parser.add_mutually_exclusive_group(required=True)
+def _add_dataset_arguments(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    source = parser.add_mutually_exclusive_group(required=required)
     source.add_argument("--porto-csv", help="path to a Porto taxi challenge CSV")
     source.add_argument("--geolife-dir", help="path to a GeoLife directory of .plt files")
     source.add_argument("--synthetic", choices=["porto", "geolife"],
@@ -146,12 +192,95 @@ def run_compress(args: argparse.Namespace, out=None) -> int:
     return 0
 
 
-def run_query(args: argparse.Namespace, out=None) -> int:
-    """Handle the ``query`` subcommand."""
+def run_save(args: argparse.Namespace, out=None) -> int:
+    """Handle the ``save`` subcommand: fit, serialize, report."""
     out = out if out is not None else sys.stdout
     dataset = load_dataset(args)
     system = build_system(args)
     system.fit(dataset)
+    path = system.save(args.output, include_raw=not args.no_raw)
+    info = inspect_model(path)
+    print(f"artifact            : {path}", file=out)
+    print(f"size (bytes)        : {info.file_size}", file=out)
+    print(f"trajectories        : {len(dataset)}", file=out)
+    print(f"points              : {dataset.num_points}", file=out)
+    print(f"codewords           : {system.num_codewords()}", file=out)
+    print(f"index periods       : {system.engine.index.num_periods}", file=out)
+    print(f"sections            : {', '.join(s.name for s in info.sections)}", file=out)
+    return 0
+
+
+def run_load(args: argparse.Namespace, out=None) -> int:
+    """Handle the ``load`` subcommand: restore an artifact, report readiness."""
+    out = out if out is not None else sys.stdout
+    try:
+        system = PPQTrajectory.load(args.artifact)
+    except OSError as exc:
+        print(f"error: cannot read artifact: {exc}", file=sys.stderr)
+        return 2
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = system.summary
+    timestamps = summary.timestamps
+    span = f"{timestamps[0]}..{timestamps[-1]}" if timestamps else "none"
+    print(f"artifact            : {args.artifact}", file=out)
+    print(f"variant             : {system.variant}", file=out)
+    print(f"points              : {summary.num_points}", file=out)
+    print(f"timestamps          : {len(timestamps)} ({span})", file=out)
+    print(f"codewords           : {summary.num_codewords}", file=out)
+    print(f"index periods       : {system.engine.index.num_periods}", file=out)
+    exact = "yes" if system.engine.raw_dataset is not None else "no (saved with --no-raw)"
+    print(f"exact queries       : {exact}", file=out)
+    print("checksums           : ok", file=out)
+    return 0
+
+
+def run_info(args: argparse.Namespace, out=None) -> int:
+    """Handle the ``info`` subcommand: describe an artifact without loading."""
+    out = out if out is not None else sys.stdout
+    try:
+        info = inspect_model(args.artifact)
+    except OSError as exc:
+        print(f"error: cannot read artifact: {exc}", file=sys.stderr)
+        return 2
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"artifact            : {info.path}", file=out)
+    print(f"format version      : {info.format_version}", file=out)
+    print(f"size (bytes)        : {info.file_size}", file=out)
+    if info.config is not None:
+        ppq = info.config["ppq"]
+        print(f"variant             : {info.config['variant']}", file=out)
+        print(f"epsilon1            : {ppq['epsilon1']}", file=out)
+        print(f"criterion           : {ppq['criterion']}", file=out)
+        print(f"cqc enabled         : {info.config['cqc']['enabled']}", file=out)
+    print("sections            :", file=out)
+    for section in info.sections:
+        status = "ok" if section.crc_ok else "CORRUPT"
+        print(f"  {section.name:<8} offset={section.offset:<10} "
+              f"bytes={section.length:<10} crc={status}", file=out)
+    print(f"checksums           : {'ok' if info.checksums_ok else 'FAILED'}", file=out)
+    return 0 if info.checksums_ok else 1
+
+
+def run_query(args: argparse.Namespace, out=None) -> int:
+    """Handle the ``query`` subcommand."""
+    out = out if out is not None else sys.stdout
+    if args.model:
+        try:
+            system = PPQTrajectory.load(args.model)
+        except OSError as exc:
+            print(f"error: cannot read artifact: {exc}", file=sys.stderr)
+            return 2
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        dataset = load_dataset(args)
+        system = build_system(args)
+        system.fit(dataset)
     if getattr(args, "workload", None):
         return _run_workload(system, args.workload, out)
     strq = system.strq(args.x, args.y, args.t)
@@ -215,6 +344,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "compress":
         return run_compress(args)
+    if args.command == "save":
+        return run_save(args)
+    if args.command == "load":
+        return run_load(args)
+    if args.command == "info":
+        return run_info(args)
     return run_query(args)
 
 

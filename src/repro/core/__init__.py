@@ -22,7 +22,8 @@ Modules
     The summary produced by quantization: prediction coefficients, codebook,
     codeword indices and optional CQC codes; supports reconstruction.
 ``pipeline``
-    ``PPQTrajectory`` -- the public facade tying PPQ + CQC + TPI together.
+    ``PPQTrajectory`` -- the public facade tying PPQ + CQC + TPI together,
+    with ``save()``/``load()`` persistence through :mod:`repro.storage`.
 """
 
 from repro.core.config import CQCConfig, IndexConfig, PPQConfig, PartitionCriterion

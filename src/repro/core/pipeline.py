@@ -15,6 +15,9 @@ Typical usage::
     system.fit(dataset)                          # build summary + index
     result = system.strq(x, y, t)                # who was here at time t?
     paths = system.tpq(x, y, t, length=20)       # ... and where did they go?
+
+    system.save("model.ppq")                     # persist the fitted model
+    served = PPQTrajectory.load("model.ppq")     # serve it elsewhere, no refit
 """
 
 from __future__ import annotations
@@ -115,6 +118,76 @@ class PPQTrajectory:
     def predict_next_positions(self, traj_id: int, t: int, horizon: int = 5) -> np.ndarray:
         """Forecast the next positions of a trajectory from the summary."""
         return self._require_engine().predict_next_positions(traj_id, t, horizon=horizon)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path, include_raw: bool = True):
+        """Serialize the fitted system to a versioned model artifact.
+
+        The artifact contains everything a serving process needs to answer
+        queries without refitting: configuration, codebook, summary records
+        (coefficients, codeword indices, CQC bit streams), cached
+        reconstructions and the full TPI.  See
+        :func:`repro.storage.save_model` for details and
+        ``docs/ARTIFACT_FORMAT.md`` for the on-disk layout.
+
+        Parameters
+        ----------
+        path:
+            Destination file (conventionally ``*.ppq``).
+        include_raw:
+            Embed the raw trajectories so exact-match queries keep working
+            after a load; pass ``False`` for a smaller STRQ/TPQ-only
+            artifact.
+
+        Returns
+        -------
+        pathlib.Path
+            The path written.
+
+        Raises
+        ------
+        RuntimeError
+            If the system is not fitted (``fit(build_index=True)`` first).
+        OSError
+            If the file cannot be written.
+        """
+        from repro.storage.io import save_model
+
+        return save_model(self, path, include_raw=include_raw)
+
+    @classmethod
+    def load(cls, path, verify: bool = True) -> "PPQTrajectory":
+        """Restore a query-ready system from a model artifact.
+
+        The loaded system answers STRQ/TPQ/exact workloads identically --
+        byte for byte -- to the instance that was saved; only quantizer
+        fitting state (timings, partition history) is not restored.
+
+        Parameters
+        ----------
+        path:
+            An artifact written by :meth:`save`.
+        verify:
+            Verify every section's CRC32 before decoding (default).
+
+        Returns
+        -------
+        PPQTrajectory
+            The restored, query-ready system.
+
+        Raises
+        ------
+        OSError
+            If the file cannot be read.
+        repro.storage.ArtifactError
+            If the file is malformed, from a newer format version, or
+            fails checksum verification.
+        """
+        from repro.storage.io import load_model
+
+        return load_model(path, verify=verify)
 
     # ------------------------------------------------------------------ #
     # reconstruction and reporting

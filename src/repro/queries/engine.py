@@ -32,14 +32,19 @@ class QueryEngine:
         Parameters for the TPI built over the summary's reconstructed points.
     raw_dataset:
         Optional raw dataset; only needed for exact-match verification.
+    index:
+        Optional pre-built TPI.  When given (e.g. restored from a model
+        artifact by :func:`repro.storage.load_model`), it is used as-is and
+        no index is built from the summary.
     """
 
     def __init__(self, summary: TrajectorySummary, index_config: IndexConfig | None = None,
-                 raw_dataset: TrajectoryDataset | None = None) -> None:
+                 raw_dataset: TrajectoryDataset | None = None,
+                 index: TemporalPartitionIndex | None = None) -> None:
         self.summary = summary
         self.index_config = index_config or IndexConfig()
         self.raw_dataset = raw_dataset
-        self.index = self._build_index()
+        self.index = index if index is not None else self._build_index()
 
     # ------------------------------------------------------------------ #
     # index construction

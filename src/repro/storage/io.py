@@ -1,0 +1,529 @@
+"""Save and load fitted PPQ-trajectory models as versioned artifacts.
+
+:func:`save_model` serializes everything a serving process needs to answer
+queries without re-running ``fit()``:
+
+* ``CONFIG``  -- the quantizer/CQC/index configuration and variant (JSON);
+* ``CODEBOOK`` -- the error-bounded codebook as a raw float64 buffer;
+* ``RECORDS`` -- the per-timestamp summary records: prediction coefficients,
+  partition assignments, codeword indices and the CQC bit streams (packed
+  through :mod:`repro.utils.bitio`);
+* ``RECON``   -- the cached ε₁-bounded reconstructions, kept so that a
+  loaded model reproduces the in-memory model's answers bit for bit;
+* ``INDEX``   -- the TPI: time periods, partition-index rectangles and each
+  grid cell's delta+Huffman compressed posting list (the Huffman codecs are
+  persisted as canonical code lengths);
+* ``RAWDATA`` -- optionally, the raw trajectories, which exact-match
+  queries verify against.
+
+:func:`load_model` restores a query-ready :class:`~repro.core.pipeline.PPQTrajectory`
+(with its :class:`~repro.queries.engine.QueryEngine` wired to the stored
+index) and :func:`inspect_model` reports an artifact's layout and checksum
+status without constructing the model.  The container layout itself lives
+in :mod:`repro.storage.format` and is specified in ``docs/ARTIFACT_FORMAT.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.codebook import Codebook
+from repro.core.config import CQCConfig, IndexConfig, PPQConfig
+from repro.core.summary import TimestepRecord, TrajectorySummary
+from repro.cqc.coding import CQCCoder
+from repro.data.trajectory import Trajectory, TrajectoryDataset
+from repro.index.grid import GridIndex
+from repro.index.idcodec import CompressedIdList
+from repro.index.pi import PartitionIndex
+from repro.index.rectangles import Rect
+from repro.index.tpi import TemporalPartitionIndex, TimePeriod
+from repro.storage.format import (
+    FORMAT_VERSION,
+    ArtifactFormatError,
+    ByteReader,
+    ByteWriter,
+    SectionInfo,
+    inspect_artifact,
+    read_artifact_file,
+    write_artifact_file,
+)
+from repro.utils.bitio import BitReader, BitWriter
+from repro.utils.huffman import HuffmanCodec
+
+#: Section names, in the order they are written.
+SECTION_CONFIG = "CONFIG"
+SECTION_CODEBOOK = "CODEBOOK"
+SECTION_RECORDS = "RECORDS"
+SECTION_RECON = "RECON"
+SECTION_INDEX = "INDEX"
+SECTION_RAWDATA = "RAWDATA"
+
+_REQUIRED_SECTIONS = (SECTION_CONFIG, SECTION_CODEBOOK, SECTION_RECORDS,
+                      SECTION_RECON, SECTION_INDEX)
+
+
+# ---------------------------------------------------------------------- #
+# CONFIG section
+# ---------------------------------------------------------------------- #
+def _encode_config(system) -> bytes:
+    from repro import __version__
+
+    config = {
+        "library_version": __version__,
+        "variant": system.variant,
+        "ppq": {
+            "epsilon1": system.ppq_config.epsilon1,
+            "epsilon_p": system.ppq_config.epsilon_p,
+            "criterion": system.ppq_config.criterion.value,
+            "prediction_order": system.ppq_config.prediction_order,
+            "max_partitions": system.ppq_config.max_partitions,
+            "partition_growth": system.ppq_config.partition_growth,
+            "kmeans_iterations": system.ppq_config.kmeans_iterations,
+            "max_codewords_per_step": system.ppq_config.max_codewords_per_step,
+            "use_prediction": system.ppq_config.use_prediction,
+            "seed": system.ppq_config.seed,
+        },
+        "cqc": {
+            "grid_size": system.cqc_config.grid_size,
+            "enabled": system.cqc_config.enabled,
+        },
+        "index": {
+            "epsilon_s": system.index_config.epsilon_s,
+            "grid_cell": system.index_config.grid_cell,
+            "epsilon_c": system.index_config.epsilon_c,
+            "epsilon_d": system.index_config.epsilon_d,
+            "page_size_bytes": system.index_config.page_size_bytes,
+        },
+    }
+    return json.dumps(config, sort_keys=True).encode("utf-8")
+
+
+def _decode_config(payload: bytes) -> dict:
+    try:
+        config = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactFormatError(f"CONFIG section is not valid JSON: {exc}") from exc
+    for key in ("variant", "ppq", "cqc", "index"):
+        if key not in config:
+            raise ArtifactFormatError(f"CONFIG section is missing the {key!r} entry")
+    return config
+
+
+# ---------------------------------------------------------------------- #
+# RECORDS section (summary)
+# ---------------------------------------------------------------------- #
+def _encode_records(summary: TrajectorySummary) -> bytes:
+    writer = ByteWriter()
+    timestamps = summary.timestamps
+    writer.u64(len(timestamps))
+    for t in timestamps:
+        record = summary.records[t]
+        writer.i64(int(t))
+
+        partitions = sorted(record.coefficients)
+        writer.u64(len(partitions))
+        for pid in partitions:
+            writer.i64(int(pid))
+            writer.array(np.asarray(record.coefficients[pid], dtype=np.float64))
+
+        tids = np.asarray(sorted(record.partition_of), dtype=np.int64)
+        writer.array(tids)
+        writer.array(np.asarray([record.partition_of[int(tid)] for tid in tids],
+                                dtype=np.int64))
+
+        tids = np.asarray(sorted(record.codeword_index), dtype=np.int64)
+        writer.array(tids)
+        writer.array(np.asarray([record.codeword_index[int(tid)] for tid in tids],
+                                dtype=np.int64))
+
+        cqc_tids = np.asarray(sorted(record.cqc_codes), dtype=np.int64)
+        writer.array(cqc_tids)
+        lengths = np.asarray([len(record.cqc_codes[int(tid)]) for tid in cqc_tids],
+                             dtype=np.int64)
+        writer.array(lengths)
+        bits = BitWriter()
+        for tid in cqc_tids:
+            bits.write_code(record.cqc_codes[int(tid)])
+        writer.blob(bits.to_bytes())
+    return writer.getvalue()
+
+
+def _decode_records(payload: bytes, summary: TrajectorySummary) -> None:
+    reader = ByteReader(payload)
+    for _ in range(reader.u64()):
+        record = TimestepRecord(t=reader.i64())
+
+        for _ in range(reader.u64()):
+            pid = reader.i64()
+            record.coefficients[pid] = reader.array()
+
+        tids = reader.array()
+        pids = reader.array()
+        record.partition_of = {int(tid): int(pid) for tid, pid in zip(tids, pids)}
+
+        tids = reader.array()
+        indices = reader.array()
+        record.codeword_index = {int(tid): int(idx) for tid, idx in zip(tids, indices)}
+
+        cqc_tids = reader.array()
+        lengths = reader.array()
+        bits = BitReader(reader.blob())
+        for tid, width in zip(cqc_tids, lengths):
+            try:
+                record.cqc_codes[int(tid)] = bits.read_bitstring(int(width))
+            except EOFError as exc:
+                raise ArtifactFormatError("truncated CQC bit stream") from exc
+        summary.records[record.t] = record
+
+
+# ---------------------------------------------------------------------- #
+# RECON section (cached reconstructions)
+# ---------------------------------------------------------------------- #
+def _encode_reconstructions(summary: TrajectorySummary) -> bytes:
+    entries: list[tuple[int, int]] = []
+    for tid in sorted(summary._reconstructions):
+        for t in sorted(summary._reconstructions[tid]):
+            entries.append((tid, t))
+    writer = ByteWriter()
+    writer.u64(len(entries))
+    if entries:
+        tids = np.asarray([tid for tid, _ in entries], dtype=np.int64)
+        ts = np.asarray([t for _, t in entries], dtype=np.int64)
+        points = np.asarray(
+            [summary._reconstructions[tid][t] for tid, t in entries], dtype=np.float64
+        )
+        writer.array(tids)
+        writer.array(ts)
+        writer.array(points)
+    return writer.getvalue()
+
+
+def _decode_reconstructions(payload: bytes, summary: TrajectorySummary) -> None:
+    reader = ByteReader(payload)
+    if reader.u64() == 0:
+        return
+    tids = reader.array()
+    ts = reader.array()
+    points = reader.array()
+    if not (len(tids) == len(ts) == len(points)):
+        raise ArtifactFormatError("RECON arrays are not aligned")
+    for tid, t, point in zip(tids, ts, points):
+        summary._reconstructions.setdefault(int(tid), {})[int(t)] = point
+
+
+# ---------------------------------------------------------------------- #
+# INDEX section (TPI)
+# ---------------------------------------------------------------------- #
+def _encode_grid(writer: ByteWriter, grid: GridIndex, baseline: float) -> None:
+    rect = grid.rect
+    writer.f64(rect.min_x)
+    writer.f64(rect.min_y)
+    writer.f64(rect.max_x)
+    writer.f64(rect.max_y)
+    writer.f64(grid.cell_size)
+    writer.f64(baseline)
+    cells = sorted(grid._cells)
+    writer.u64(len(cells))
+    for cell in cells:
+        compressed = grid._cells[cell]
+        writer.i64(cell[0])
+        writer.i64(cell[1])
+        writer.i64(compressed.first_id)
+        writer.u64(compressed.count)
+        writer.u64(compressed.bit_length)
+        writer.blob(compressed.payload)
+        lengths = compressed.codec.code_lengths if compressed.codec is not None else {}
+        writer.u64(len(lengths))
+        for symbol in sorted(lengths):
+            writer.i64(int(symbol))
+            writer.u8(int(lengths[symbol]))
+
+
+def _decode_grid(reader: ByteReader, config: IndexConfig) -> tuple[GridIndex, float]:
+    rect = Rect(reader.f64(), reader.f64(), reader.f64(), reader.f64())
+    cell_size = reader.f64()
+    baseline = reader.f64()
+    grid = GridIndex(rect, cell_size)
+    for _ in range(reader.u64()):
+        cell = (reader.i64(), reader.i64())
+        first_id = reader.i64()
+        count = reader.u64()
+        bit_length = reader.u64()
+        payload = reader.blob()
+        lengths = {}
+        for _ in range(reader.u64()):
+            symbol = reader.i64()
+            lengths[symbol] = reader.u8()
+        codec = HuffmanCodec.from_code_lengths(lengths) if lengths else None
+        grid._cells[cell] = CompressedIdList(
+            payload=payload, bit_length=bit_length,
+            first_id=first_id, count=count, codec=codec,
+        )
+    return grid, baseline
+
+
+def _encode_index(index: TemporalPartitionIndex) -> bytes:
+    writer = ByteWriter()
+    writer.i64(index.seed)
+    writer.u64(index.stats.num_rebuilds)
+    writer.u64(index.stats.num_insertions)
+    writer.f64(index.stats.build_seconds)
+    writer.u64(len(index.periods))
+    for period in index.periods:
+        writer.i64(period.start)
+        writer.i64(period.end)
+        pi = period.index
+        writer.i64(pi.t)
+        writer.u64(len(pi.grids))
+        baselines = pi.baseline_density or [0.0] * len(pi.grids)
+        for grid, baseline in zip(pi.grids, baselines):
+            _encode_grid(writer, grid, float(baseline))
+    return writer.getvalue()
+
+
+def _decode_index(payload: bytes, config: IndexConfig) -> TemporalPartitionIndex:
+    reader = ByteReader(payload)
+    index = TemporalPartitionIndex(config, seed=reader.i64())
+    index.stats.num_rebuilds = reader.u64()
+    index.stats.num_insertions = reader.u64()
+    index.stats.build_seconds = reader.f64()
+    for _ in range(reader.u64()):
+        start = reader.i64()
+        end = reader.i64()
+        pi = PartitionIndex(t=reader.i64(), config=config)
+        for _ in range(reader.u64()):
+            grid, baseline = _decode_grid(reader, config)
+            pi.grids.append(grid)
+            pi.baseline_density.append(baseline)
+        index.periods.append(TimePeriod(start=start, end=end, index=pi))
+    index.stats.num_periods = len(index.periods)
+    index.stats.index_bits = index.storage_bits()
+    return index
+
+
+# ---------------------------------------------------------------------- #
+# RAWDATA section
+# ---------------------------------------------------------------------- #
+def _encode_dataset(dataset: TrajectoryDataset) -> bytes:
+    writer = ByteWriter()
+    traj_ids = dataset.trajectory_ids
+    writer.u64(len(traj_ids))
+    for tid in traj_ids:
+        traj = dataset.get(tid)
+        writer.i64(int(tid))
+        writer.array(np.asarray(traj.timestamps, dtype=np.int64))
+        writer.array(np.asarray(traj.points, dtype=np.float64))
+    return writer.getvalue()
+
+
+def _decode_dataset(payload: bytes) -> TrajectoryDataset:
+    reader = ByteReader(payload)
+    trajectories = []
+    for _ in range(reader.u64()):
+        tid = reader.i64()
+        timestamps = reader.array()
+        points = reader.array()
+        trajectories.append(Trajectory(traj_id=tid, points=points, timestamps=timestamps))
+    return TrajectoryDataset(trajectories)
+
+
+# ---------------------------------------------------------------------- #
+# public API
+# ---------------------------------------------------------------------- #
+def save_model(system, path: str | Path, include_raw: bool = True) -> Path:
+    """Serialize a fitted PPQ-trajectory system to a versioned artifact file.
+
+    Parameters
+    ----------
+    system:
+        A fitted :class:`~repro.core.pipeline.PPQTrajectory` (``fit()`` must
+        have been called with ``build_index=True``).
+    path:
+        Destination file; written atomically (temp file + rename).
+    include_raw:
+        Whether to embed the raw trajectories in a ``RAWDATA`` section.
+        Exact-match queries verify candidates against the raw data, so a
+        model saved with ``include_raw=False`` loads without exact-query
+        support (STRQ/TPQ are unaffected) and is correspondingly smaller.
+
+    Returns
+    -------
+    pathlib.Path
+        The path written.
+
+    Raises
+    ------
+    RuntimeError
+        If the system has no summary or no query engine (not fitted).
+    OSError
+        If the file cannot be written.
+    """
+    if system.summary is None:
+        raise RuntimeError("cannot save an unfitted model: call fit() first")
+    if system.engine is None:
+        raise RuntimeError("cannot save a model without an index: "
+                           "call fit(build_index=True) first")
+    sections = [
+        (SECTION_CONFIG, _encode_config(system)),
+        (SECTION_CODEBOOK, _encode_codebook(system.summary.codebook)),
+        (SECTION_RECORDS, _encode_records(system.summary)),
+        (SECTION_RECON, _encode_reconstructions(system.summary)),
+        (SECTION_INDEX, _encode_index(system.engine.index)),
+    ]
+    if include_raw and system.engine.raw_dataset is not None:
+        sections.append((SECTION_RAWDATA, _encode_dataset(system.engine.raw_dataset)))
+    return write_artifact_file(path, sections)
+
+
+def _encode_codebook(codebook: Codebook) -> bytes:
+    writer = ByteWriter()
+    writer.array(np.asarray(codebook.codewords, dtype=np.float64))
+    return writer.getvalue()
+
+
+def _decode_codebook(payload: bytes) -> Codebook:
+    codewords = ByteReader(payload).array()
+    codebook = Codebook(initial_capacity=max(64, len(codewords)))
+    codebook.extend(codewords)
+    return codebook
+
+
+def load_model(path: str | Path, verify: bool = True):
+    """Load a model artifact into a query-ready ``PPQTrajectory``.
+
+    The returned system answers STRQ/TPQ (and, when the artifact has a
+    ``RAWDATA`` section, exact-match) queries -- scalar or batched --
+    identically to the system that was saved, without refitting: the
+    summary, codebook, reconstructions and the full TPI are restored from
+    the artifact.
+
+    Parameters
+    ----------
+    path:
+        An artifact produced by :func:`save_model`.
+    verify:
+        When true (the default), every section's CRC32 is verified before
+        decoding; pass ``False`` only to salvage data from a known-damaged
+        file.
+
+    Returns
+    -------
+    PPQTrajectory
+        The restored system (its ``engine`` uses the stored index).
+
+    Raises
+    ------
+    OSError
+        If the file cannot be read.
+    ArtifactFormatError
+        If the file is not a well-formed artifact or a section is missing.
+    ArtifactVersionError
+        If the artifact was written by a newer format version.
+    ArtifactChecksumError
+        If ``verify`` is true and any stored checksum does not match.
+    """
+    from repro.core.pipeline import PPQTrajectory
+    from repro.queries.engine import QueryEngine
+
+    _version, payloads = read_artifact_file(path, verify=verify)
+    missing = [name for name in _REQUIRED_SECTIONS if name not in payloads]
+    if missing:
+        raise ArtifactFormatError(
+            f"artifact is missing required section(s): {', '.join(missing)}"
+        )
+    config = _decode_config(payloads[SECTION_CONFIG])
+    ppq_config = PPQConfig(**config["ppq"])
+    cqc_config = CQCConfig(**config["cqc"])
+    index_config = IndexConfig(**config["index"])
+    system = PPQTrajectory(ppq_config=ppq_config, cqc_config=cqc_config,
+                           index_config=index_config, variant=config["variant"])
+
+    codebook = _decode_codebook(payloads[SECTION_CODEBOOK])
+    cqc_coder = None
+    if cqc_config.enabled:
+        cqc_coder = CQCCoder(epsilon=ppq_config.epsilon1, grid_size=cqc_config.grid_size)
+    summary = TrajectorySummary(ppq_config, cqc_config, codebook, cqc_coder)
+    _decode_records(payloads[SECTION_RECORDS], summary)
+    _decode_reconstructions(payloads[SECTION_RECON], summary)
+
+    index = _decode_index(payloads[SECTION_INDEX], index_config)
+    raw_dataset = None
+    if SECTION_RAWDATA in payloads:
+        raw_dataset = _decode_dataset(payloads[SECTION_RAWDATA])
+
+    system.summary = summary
+    system._dataset = raw_dataset
+    system.engine = QueryEngine(summary, index_config, raw_dataset=raw_dataset, index=index)
+    return system
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """What ``repro info`` reports about an artifact without loading it.
+
+    Attributes
+    ----------
+    path:
+        The inspected file.
+    file_size:
+        Total size in bytes.
+    format_version:
+        The artifact's format version.
+    sections:
+        Per-section :class:`~repro.storage.format.SectionInfo` rows (name,
+        offset, length, checksum status).
+    config:
+        The decoded ``CONFIG`` section, or ``None`` when it is corrupt.
+    """
+
+    path: Path
+    file_size: int
+    format_version: int
+    sections: list[SectionInfo]
+    config: dict | None
+
+    @property
+    def checksums_ok(self) -> bool:
+        """Whether every section's payload matches its stored CRC32."""
+        return all(info.crc_ok for info in self.sections)
+
+
+def inspect_model(path: str | Path) -> ArtifactInfo:
+    """Describe an artifact -- sections, sizes, checksums -- without loading it.
+
+    Corrupt section payloads are reported via ``sections[i].crc_ok`` rather
+    than raised, so damaged files can still be described; only structural
+    damage (bad magic, truncated table) raises.
+
+    Raises
+    ------
+    OSError
+        If the file cannot be read.
+    ArtifactFormatError, ArtifactVersionError, ArtifactChecksumError
+        If the header or section table is unreadable.
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    version, sections = inspect_artifact(blob)
+    config = None
+    for info in sections:
+        if info.name == SECTION_CONFIG and info.crc_ok:
+            try:
+                config = _decode_config(blob[info.offset:info.offset + info.length])
+            except ArtifactFormatError:
+                config = None
+    return ArtifactInfo(path=path, file_size=len(blob), format_version=version,
+                        sections=sections, config=config)
+
+
+__all__ = [
+    "save_model",
+    "load_model",
+    "inspect_model",
+    "ArtifactInfo",
+    "FORMAT_VERSION",
+]

@@ -46,6 +46,44 @@ class HuffmanCodec:
         """Build a codec from a raw iterable of symbols."""
         return cls(Counter(symbols))
 
+    @classmethod
+    def from_code_lengths(cls, lengths: dict) -> "HuffmanCodec":
+        """Rebuild a codec from its per-symbol canonical code lengths.
+
+        Because codes are canonical, the ``(symbol, code length)`` pairs
+        fully determine the code table; this is what the model-artifact
+        storage layer persists instead of raw frequencies.
+
+        Parameters
+        ----------
+        lengths:
+            Mapping symbol -> code length in bits (all positive).
+
+        Raises
+        ------
+        ValueError
+            If ``lengths`` is empty or contains a non-positive length.
+        """
+        if not lengths:
+            raise ValueError("from_code_lengths requires at least one symbol")
+        cleaned = {sym: int(length) for sym, length in lengths.items()}
+        if any(length <= 0 for length in cleaned.values()):
+            raise ValueError("code lengths must be positive")
+        codec = cls.__new__(cls)
+        codec._lengths = cleaned
+        codec._codes = _canonical_codes(cleaned)
+        codec._decode_table = {code: sym for sym, code in codec._codes.items()}
+        return codec
+
+    @property
+    def code_lengths(self) -> dict:
+        """Mapping symbol -> canonical code length in bits.
+
+        Together with :meth:`from_code_lengths` this makes the codec
+        round-trippable without storing frequencies.
+        """
+        return dict(self._lengths)
+
     @property
     def code_table(self) -> dict:
         """Mapping symbol -> binary code string."""

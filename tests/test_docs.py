@@ -1,0 +1,61 @@
+"""Docs stay honest: links resolve and README examples execute.
+
+These tests mirror the CI docs job so a broken doc fails locally too:
+every relative link/anchor in the repo's markdown must resolve, and the
+``>>>`` examples in the README are executed with doctest.
+"""
+
+from __future__ import annotations
+
+import doctest
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_links  # noqa: E402
+
+MARKDOWN_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+
+def test_markdown_files_exist():
+    assert REPO_ROOT / "README.md" in MARKDOWN_FILES
+    assert any(p.name == "ARCHITECTURE.md" for p in MARKDOWN_FILES)
+    assert any(p.name == "ARTIFACT_FORMAT.md" for p in MARKDOWN_FILES)
+
+
+@pytest.mark.parametrize("path", MARKDOWN_FILES, ids=lambda p: p.name)
+def test_markdown_links_resolve(path):
+    problems = check_links.check_file(path, REPO_ROOT)
+    assert problems == []
+
+
+def test_link_checker_flags_broken_links(tmp_path):
+    doc = tmp_path / "broken.md"
+    doc.write_text("[missing](no_such_file.md) and [bad](#no-such-anchor)\n")
+    problems = check_links.check_file(doc, tmp_path.parent)
+    assert len(problems) == 2
+    assert any("missing target" in p for p in problems)
+    assert any("missing anchor" in p for p in problems)
+
+
+def test_github_anchor_rules():
+    assert check_links.github_anchor("Save & serve") == "save--serve"
+    assert check_links.github_anchor("CLI commands") == "cli-commands"
+    assert check_links.github_anchor("`repro info`") == "repro-info"
+
+
+def test_readme_doctest_examples():
+    """The README's ``>>>`` quickstart snippets actually run."""
+    results = doctest.testfile(
+        str(REPO_ROOT / "README.md"),
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0, "README lost its doctest examples"
+    assert results.failed == 0
