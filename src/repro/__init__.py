@@ -21,7 +21,10 @@ A from-scratch Python reproduction of Wang & Ferhatosmanoglu, PVLDB 14(2),
   utilities used by the benchmark harness;
 * :mod:`repro.storage` -- versioned on-disk model artifacts
   (:func:`save_model` / :func:`load_model`) for the build-once/serve-many
-  deployment split.
+  deployment split;
+* :mod:`repro.reliability` -- fault injection (:class:`FaultPlan` /
+  :func:`inject_faults`), retry policies, salvage load reports and graceful
+  query degradation for fault-tolerant serving.
 """
 
 from repro.core.config import CQCConfig, IndexConfig, PPQConfig, PartitionCriterion
@@ -30,8 +33,16 @@ from repro.core.pipeline import PPQTrajectory
 from repro.core.ppq import PartitionwisePredictiveQuantizer
 from repro.core.summary import TrajectorySummary
 from repro.queries.engine import QueryEngine
+from repro.reliability import (
+    FaultError,
+    FaultPlan,
+    LoadReport,
+    QueryError,
+    RetryPolicy,
+    inject_faults,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.storage import inspect_model, load_model, save_model  # noqa: E402
 
@@ -45,6 +56,12 @@ __all__ = [
     "ErrorBoundedPredictiveQuantizer",
     "TrajectorySummary",
     "QueryEngine",
+    "FaultError",
+    "FaultPlan",
+    "LoadReport",
+    "QueryError",
+    "RetryPolicy",
+    "inject_faults",
     "save_model",
     "load_model",
     "inspect_model",

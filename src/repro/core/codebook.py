@@ -57,7 +57,7 @@ class Codebook:
 
     def extend(self, codewords) -> np.ndarray:
         """Append several codewords; returns their indices."""
-        codewords = ensure_points_array(codewords, name="codewords")
+        codewords = ensure_points_array(codewords, name="codewords", allow_empty=True)
         if len(codewords) == 0:
             return np.empty(0, dtype=np.int64)
         self._ensure_capacity(self._size + len(codewords))
@@ -89,7 +89,7 @@ class Codebook:
             ``distances`` the corresponding Euclidean distances.  If the
             codebook is empty, indices are ``-1`` and distances ``inf``.
         """
-        vectors = ensure_points_array(vectors, name="vectors")
+        vectors = ensure_points_array(vectors, name="vectors", allow_empty=True)
         n = len(vectors)
         if n == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=float)

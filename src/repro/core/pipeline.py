@@ -62,6 +62,9 @@ class PPQTrajectory:
         self.summary: TrajectorySummary | None = None
         self.engine: QueryEngine | None = None
         self._dataset: TrajectoryDataset | None = None
+        # Set by the storage layer when the system is restored from an
+        # artifact (a LoadReport); None for freshly fitted systems.
+        self.load_report = None
 
     @classmethod
     def ppq_a(cls, **kwargs) -> "PPQTrajectory":
@@ -158,7 +161,7 @@ class PPQTrajectory:
         return save_model(self, path, include_raw=include_raw)
 
     @classmethod
-    def load(cls, path, verify: bool = True) -> "PPQTrajectory":
+    def load(cls, path, verify: bool = True, strict: bool = True) -> "PPQTrajectory":
         """Restore a query-ready system from a model artifact.
 
         The loaded system answers STRQ/TPQ/exact workloads identically --
@@ -171,6 +174,12 @@ class PPQTrajectory:
             An artifact written by :meth:`save`.
         verify:
             Verify every section's CRC32 before decoding (default).
+        strict:
+            With ``strict=False`` a damaged artifact is salvaged where
+            possible -- derivable sections (reconstruction cache, index)
+            are rebuilt and a damaged raw-data section is dropped -- and
+            the outcome is recorded in the returned system's
+            ``load_report``.  See :func:`repro.storage.load_model`.
 
         Returns
         -------
@@ -183,11 +192,12 @@ class PPQTrajectory:
             If the file cannot be read.
         repro.storage.ArtifactError
             If the file is malformed, from a newer format version, or
-            fails checksum verification.
+            fails checksum verification (in non-strict mode, only when a
+            non-derivable section is damaged).
         """
         from repro.storage.io import load_model
 
-        return load_model(path, verify=verify)
+        return load_model(path, verify=verify, strict=strict)
 
     # ------------------------------------------------------------------ #
     # reconstruction and reporting

@@ -54,7 +54,7 @@ class IncrementalQuantizer:
         vector; the post-condition ``‖v − C[idx]‖ ≤ epsilon`` holds for every
         vector ``v``.
         """
-        vectors = ensure_points_array(vectors, name="vectors")
+        vectors = ensure_points_array(vectors, name="vectors", allow_empty=True)
         n = len(vectors)
         if n == 0:
             return np.empty(0, dtype=np.int64)

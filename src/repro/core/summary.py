@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.codebook import Codebook
 from repro.core.config import CQCConfig, PPQConfig
+from repro.reliability import faults as _faults
 
 
 class ReconstructionCache:
@@ -246,6 +247,8 @@ class TrajectorySummary:
         and a CQC code was stored, otherwise the ε₁-bounded reconstruction
         ``(x̂, ŷ)``.  ``None`` when the trajectory was not summarised at ``t``.
         """
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.check("summary.reconstruct", key=(int(traj_id), int(t)))
         base = self._base_reconstruction(int(traj_id), int(t))
         if base is None:
             return None

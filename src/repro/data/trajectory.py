@@ -38,7 +38,7 @@ class Trajectory:
     timestamps: np.ndarray = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
-        self.points = ensure_points_array(self.points, name="points")
+        self.points = ensure_points_array(self.points, name="points", allow_empty=True)
         if self.timestamps is None:
             self.timestamps = np.arange(len(self.points), dtype=np.int64)
         else:

@@ -21,6 +21,30 @@ import numpy as np
 
 from repro.index.idcodec import CompressedIdList, compress_ids, decompress_ids
 from repro.index.rectangles import Rect
+from repro.reliability import faults as _faults
+from repro.reliability.faults import FaultError
+
+
+class PostingDecodeError(RuntimeError):
+    """A grid cell's stored posting list could not be decoded.
+
+    Wraps the low-level decode failure (corrupt Huffman stream, truncated
+    bit stream, injected fault) with enough context -- the cell, the owning
+    grid and the original cause -- for the query engine to quarantine the
+    cell and recompute its postings from summary reconstructions instead of
+    aborting the query.
+    """
+
+    def __init__(self, cell: tuple[int, int], grid: "GridIndex",
+                 cause: BaseException) -> None:
+        super().__init__(
+            f"posting list of cell {cell} failed to decode: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.cell = cell
+        self.grid = grid
+        self.cause = cause
+        self.transient = bool(getattr(cause, "transient", False))
 
 
 def encode_cells(cells: np.ndarray) -> np.ndarray:
@@ -95,7 +119,11 @@ class GridIndex:
             existing = self._cells.get(cell)
             ids = set(new_ids)
             if existing is not None:
-                ids.update(decompress_ids(existing))
+                # Prefer the decoded cache: after a quarantine repair it is
+                # the authoritative copy (the compressed payload may still be
+                # the corrupt original).
+                decoded = self._decoded.get(cell)
+                ids.update(decoded if decoded is not None else self._decode_cell(cell, existing))
             self._cells[cell] = compress_ids(ids)
             self._decoded.pop(cell, None)
         self._table = None
@@ -117,6 +145,34 @@ class GridIndex:
         points = np.asarray(points, dtype=float)
         return np.floor(points / self.cell_size).astype(np.int64)
 
+    def _decode_cell(self, cell: tuple[int, int],
+                     compressed: CompressedIdList) -> tuple[int, ...]:
+        """Decode one compressed posting list, wrapping failures with context.
+
+        This is the ``index.cell_decode`` fault-injection point; injected
+        faults and genuine decode failures (corrupt Huffman streams raise
+        ``ValueError``/``EOFError``/``KeyError`` from the codec layers) both
+        surface as :class:`PostingDecodeError` so the engine's quarantine
+        logic has a single exception type to catch.
+        """
+        try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.check("index.cell_decode", key=cell)
+            return tuple(decompress_ids(compressed))
+        except (FaultError, ValueError, EOFError, KeyError) as exc:
+            raise PostingDecodeError(cell, self, exc) from exc
+
+    def patch_cell(self, cell: tuple[int, int], ids) -> None:
+        """Install externally recovered postings for a quarantined cell.
+
+        Used by the engine's degradation path after recomputing a corrupt
+        cell's IDs from summary reconstructions: the decoded cache becomes
+        the authoritative copy and the batched lookup table is invalidated
+        so it is rebuilt from the patched postings.
+        """
+        self._decoded[cell] = tuple(int(i) for i in ids)
+        self._table = None
+
     def ids_in_cell(self, cell: tuple[int, int]) -> list[int]:
         """Trajectory IDs stored in one grid cell (empty list if none)."""
         decoded = self._decoded.get(cell)
@@ -124,7 +180,7 @@ class GridIndex:
             compressed = self._cells.get(cell)
             if compressed is None:
                 return []
-            self._decoded[cell] = decoded = tuple(decompress_ids(compressed))
+            self._decoded[cell] = decoded = self._decode_cell(cell, compressed)
         return list(decoded)
 
     def decoded_postings(self) -> dict[tuple[int, int], tuple[int, ...]]:
@@ -135,10 +191,10 @@ class GridIndex:
         lifetime.  Treat the returned mapping (and its tuples) as read-only;
         it is invalidated cell by cell on insert.
         """
-        if len(self._decoded) != len(self._cells):
+        if len(self._decoded) < len(self._cells):
             for cell, compressed in self._cells.items():
                 if cell not in self._decoded:
-                    self._decoded[cell] = tuple(decompress_ids(compressed))
+                    self._decoded[cell] = self._decode_cell(cell, compressed)
         return self._decoded
 
     def encoded_table(self) -> tuple[np.ndarray, list[tuple[int, ...]]]:

@@ -1,0 +1,46 @@
+"""Reliability toolkit: fault injection, retry policies, salvage, degradation.
+
+This package is an import leaf -- it must not import from any other
+``repro`` subpackage, because low-level modules (``utils.bitio``,
+``utils.huffman``, ``index.grid``, ``core.summary``, ``storage.io``) import
+:mod:`repro.reliability.faults` for their injection hooks.
+"""
+
+from repro.reliability.degrade import (
+    DegradationStats,
+    QuarantineRecord,
+    QueryError,
+    recompute_cell_postings,
+)
+from repro.reliability.faults import (
+    INJECTION_POINTS,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    inject_faults,
+)
+from repro.reliability.retry import (
+    RetryExhaustedError,
+    RetryPolicy,
+    is_transient_error,
+)
+from repro.reliability.salvage import LoadReport, SectionOutcome
+
+__all__ = [
+    "INJECTION_POINTS",
+    "DegradationStats",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "LoadReport",
+    "QuarantineRecord",
+    "QueryError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "SectionOutcome",
+    "inject_faults",
+    "is_transient_error",
+    "recompute_cell_postings",
+]

@@ -1,0 +1,134 @@
+"""Bounded retry with exponential backoff for transient serving faults.
+
+Transient faults (a flaky read, an injected ``FaultError(transient=True)``)
+should be retried a bounded number of times; persistent corruption should
+not -- retrying a corrupt posting list just burns the deadline.  The policy
+here distinguishes the two by walking an exception's cause chain for a
+``transient`` attribute, and callers may override that classification.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+class RetryExhaustedError(RuntimeError):
+    """Raised when every permitted attempt failed (or the deadline passed).
+
+    The final underlying error is both chained (``__cause__``) and exposed
+    as :attr:`last_error` so structured handlers need not parse messages.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException,
+                 deadline_exceeded: bool = False) -> None:
+        reason = "deadline exceeded" if deadline_exceeded else "retries exhausted"
+        super().__init__(
+            f"{reason} after {attempts} attempt{'s' if attempts != 1 else ''}: "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+        self.deadline_exceeded = deadline_exceeded
+
+
+def is_transient_error(error: BaseException) -> bool:
+    """True when ``error`` (or anything on its cause chain) is transient.
+
+    An exception is transient when it carries a truthy ``transient``
+    attribute -- :class:`~repro.reliability.faults.FaultError` sets this --
+    or wraps one that does (via ``__cause__``/``__context__`` or a ``cause``
+    attribute, as used by the index layer's decode errors).
+    """
+    seen: set[int] = set()
+    current: BaseException | None = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if getattr(current, "transient", False):
+            return True
+        current = (
+            getattr(current, "cause", None)
+            or current.__cause__
+            or current.__context__
+        )
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and an optional deadline.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries *after* the first attempt, so ``max_retries=2`` allows three
+        calls in total.
+    backoff:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Backoff growth factor per retry (``backoff * multiplier**k``).
+    max_backoff:
+        Ceiling on any single sleep.
+    deadline:
+        Wall-clock budget in seconds for the whole call including sleeps;
+        ``None`` means unbounded.  Exceeding it raises
+        :class:`RetryExhaustedError` with ``deadline_exceeded=True``.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+
+    def delay_for(self, retry_index: int) -> float:
+        """Sleep duration before retry number ``retry_index`` (0-based)."""
+        return min(self.backoff * (self.multiplier ** retry_index), self.max_backoff)
+
+    def call(self, fn: Callable[[], object], retryable: Callable[[BaseException], bool] | None = None,
+             sleep: Callable[[float], None] = time.sleep,
+             clock: Callable[[], float] = time.monotonic):
+        """Invoke ``fn`` with retries; return its result.
+
+        Parameters
+        ----------
+        fn:
+            Zero-argument callable to protect.
+        retryable:
+            Predicate deciding whether a raised exception deserves another
+            attempt; defaults to :func:`is_transient_error`.  Non-retryable
+            exceptions propagate unchanged on the spot.
+        sleep / clock:
+            Injectable for tests (the reliability suite passes ``sleep``
+            recorders and fake clocks to assert backoff schedules without
+            real waiting).
+        """
+        if retryable is None:
+            retryable = is_transient_error
+        start = clock()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return fn()
+            except Exception as exc:  # noqa: BLE001 - policy decides propagation
+                if not retryable(exc):
+                    raise
+                if attempts > self.max_retries:
+                    raise RetryExhaustedError(attempts, exc) from exc
+                delay = self.delay_for(attempts - 1)
+                if self.deadline is not None and (clock() - start) + delay > self.deadline:
+                    raise RetryExhaustedError(attempts, exc, deadline_exceeded=True) from exc
+                if delay > 0:
+                    sleep(delay)

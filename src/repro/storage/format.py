@@ -277,13 +277,20 @@ def pack_artifact(sections: list[tuple[str, bytes]]) -> bytes:
     return header + bytes(table) + b"".join(payload for _, payload in sections)
 
 
-def _parse_table(blob: bytes) -> tuple[int, list[SectionInfo]]:
+def _parse_table(blob: bytes, strict: bool = True) -> tuple[int, list[SectionInfo]]:
     """Validate header and table of ``blob``; return (version, sections).
+
+    With ``strict=False`` a section whose extent runs outside the file (the
+    typical shape of a truncated download) is clamped to the available bytes
+    and reported with ``crc_ok=False`` instead of raising, so salvage loads
+    can still recover the intact sections.  Header/table damage always
+    raises: without a trustworthy table there is nothing to salvage.
 
     Raises
     ------
     ArtifactFormatError
-        On bad magic, truncation, or out-of-range section extents.
+        On bad magic, truncation, or (in strict mode) out-of-range section
+        extents.
     ArtifactVersionError
         If the artifact's format version is newer than this reader.
     ArtifactChecksumError
@@ -318,10 +325,19 @@ def _parse_table(blob: bytes) -> tuple[int, list[SectionInfo]]:
         raw_name, offset, length, crc = _TABLE_ENTRY.unpack_from(table_bytes, i * _TABLE_ENTRY.size)
         name = raw_name.rstrip(b"\x00").decode("ascii", errors="replace")
         if offset < table_end or offset + length > len(blob):
-            raise ArtifactFormatError(
-                f"section {name!r} extends outside the file "
-                f"(offset {offset}, length {length}, file size {len(blob)})"
-            )
+            if strict:
+                raise ArtifactFormatError(
+                    f"section {name!r} extends outside the file "
+                    f"(offset {offset}, length {length}, file size {len(blob)})"
+                )
+            clamped_offset = min(max(offset, table_end), len(blob))
+            clamped_length = max(0, min(length, len(blob) - clamped_offset))
+            payload = blob[clamped_offset:clamped_offset + clamped_length]
+            sections.append(SectionInfo(
+                name=name, offset=clamped_offset, length=clamped_length, crc32=crc,
+                crc_ok=clamped_length == length and zlib.crc32(payload) == crc,
+            ))
+            continue
         payload = blob[offset:offset + length]
         sections.append(SectionInfo(name=name, offset=offset, length=length,
                                     crc32=crc, crc_ok=zlib.crc32(payload) == crc))
@@ -361,15 +377,17 @@ def unpack_artifact(blob: bytes, verify: bool = True) -> tuple[int, dict[str, by
     return version, {info.name: blob[info.offset:info.offset + info.length] for info in infos}
 
 
-def inspect_artifact(blob: bytes) -> tuple[int, list[SectionInfo]]:
+def inspect_artifact(blob: bytes, strict: bool = True) -> tuple[int, list[SectionInfo]]:
     """Parse the header/table and report per-section checksum status.
 
     Unlike :func:`unpack_artifact` this never raises on payload corruption
     (the status is reported in :attr:`SectionInfo.crc_ok` instead), so it is
     what ``repro info`` uses to describe damaged files.  Structural damage
-    to the header or table itself still raises.
+    to the header or table itself still raises; ``strict=False`` additionally
+    tolerates truncated section extents (see :func:`_parse_table`), which is
+    what salvage loads use.
     """
-    return _parse_table(blob)
+    return _parse_table(blob, strict=strict)
 
 
 def read_artifact_file(path: str | Path, verify: bool = True) -> tuple[int, dict[str, bytes]]:

@@ -26,6 +26,7 @@ in :mod:`repro.storage.format` and is specified in ``docs/ARTIFACT_FORMAT.md``.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -41,14 +42,17 @@ from repro.index.idcodec import CompressedIdList
 from repro.index.pi import PartitionIndex
 from repro.index.rectangles import Rect
 from repro.index.tpi import TemporalPartitionIndex, TimePeriod
+from repro.reliability import faults as _faults
+from repro.reliability.salvage import LoadReport
 from repro.storage.format import (
     FORMAT_VERSION,
+    ArtifactChecksumError,
     ArtifactFormatError,
     ByteReader,
     ByteWriter,
     SectionInfo,
     inspect_artifact,
-    read_artifact_file,
+    unpack_artifact,
     write_artifact_file,
 )
 from repro.utils.bitio import BitReader, BitWriter
@@ -392,7 +396,19 @@ def _decode_codebook(payload: bytes) -> Codebook:
     return codebook
 
 
-def load_model(path: str | Path, verify: bool = True):
+def _read_section(payloads: dict[str, bytes], name: str) -> bytes:
+    """Fetch one section payload; the ``storage.section_read`` fault point."""
+    if _faults.ACTIVE is not None:
+        _faults.ACTIVE.check("storage.section_read", key=name)
+    return payloads[name]
+
+
+#: Sections that cannot be rebuilt from other sections.  When one of these
+#: is damaged there is no model, so even ``strict=False`` loads raise.
+_NON_DERIVABLE_SECTIONS = (SECTION_CONFIG, SECTION_CODEBOOK, SECTION_RECORDS)
+
+
+def load_model(path: str | Path, verify: bool = True, strict: bool = True):
     """Load a model artifact into a query-ready ``PPQTrajectory``.
 
     The returned system answers STRQ/TPQ (and, when the artifact has a
@@ -407,58 +423,167 @@ def load_model(path: str | Path, verify: bool = True):
         An artifact produced by :func:`save_model`.
     verify:
         When true (the default), every section's CRC32 is verified before
-        decoding; pass ``False`` only to salvage data from a known-damaged
-        file.
+        decoding (strict mode only; non-strict loads always consult the
+        checksums to decide what to salvage).
+    strict:
+        When true (the default), any damage raises.  With ``strict=False``
+        the loader salvages what it can: the config, codebook and summary
+        records must be intact (they are not derivable), but a damaged or
+        truncated reconstruction cache is recomputed lazily from the
+        records, a damaged index is rebuilt from the summary's
+        reconstructions, and a damaged raw-data section is dropped with a
+        ``RuntimeWarning`` (disabling exact-match queries).  The resulting
+        system's ``load_report`` (a
+        :class:`~repro.reliability.salvage.LoadReport`) lists every
+        section's fate; rebuilt sections are bit-identical to the originals
+        because both are deterministic functions of the summary.
 
     Returns
     -------
     PPQTrajectory
-        The restored system (its ``engine`` uses the stored index).
+        The restored system (its ``engine`` uses the stored index), with a
+        ``load_report`` attribute describing per-section outcomes.
 
     Raises
     ------
     OSError
         If the file cannot be read.
     ArtifactFormatError
-        If the file is not a well-formed artifact or a section is missing.
+        If the file is not a well-formed artifact or a non-salvageable
+        section is missing.
     ArtifactVersionError
         If the artifact was written by a newer format version.
     ArtifactChecksumError
-        If ``verify`` is true and any stored checksum does not match.
+        If a checksum mismatch affects a section the load cannot proceed
+        without (any section in strict mode with ``verify=True``; the
+        config/codebook/records sections in non-strict mode).
     """
     from repro.core.pipeline import PPQTrajectory
     from repro.queries.engine import QueryEngine
 
-    _version, payloads = read_artifact_file(path, verify=verify)
-    missing = [name for name in _REQUIRED_SECTIONS if name not in payloads]
-    if missing:
-        raise ArtifactFormatError(
-            f"artifact is missing required section(s): {', '.join(missing)}"
-        )
-    config = _decode_config(payloads[SECTION_CONFIG])
+    path = Path(path)
+    blob = path.read_bytes()
+    report = LoadReport(path=str(path), strict=strict)
+
+    if strict:
+        _version, payloads = unpack_artifact(blob, verify=verify)
+        crc_ok = dict.fromkeys(payloads, True)
+        missing = [name for name in _REQUIRED_SECTIONS if name not in payloads]
+        if missing:
+            raise ArtifactFormatError(
+                f"artifact is missing required section(s): {', '.join(missing)}"
+            )
+    else:
+        _version, infos = inspect_artifact(blob, strict=False)
+        payloads = {info.name: blob[info.offset:info.offset + info.length] for info in infos}
+        crc_ok = {info.name: info.crc_ok for info in infos}
+        missing = [name for name in _NON_DERIVABLE_SECTIONS if name not in payloads]
+        if missing:
+            raise ArtifactFormatError(
+                f"artifact is missing non-derivable section(s): {', '.join(missing)}"
+            )
+        damaged = [name for name in _NON_DERIVABLE_SECTIONS if not crc_ok[name]]
+        if damaged:
+            raise ArtifactChecksumError(
+                f"section(s) {', '.join(damaged)} are corrupt and cannot be "
+                "rebuilt from other sections"
+            )
+
+    config = _decode_config(_read_section(payloads, SECTION_CONFIG))
     ppq_config = PPQConfig(**config["ppq"])
     cqc_config = CQCConfig(**config["cqc"])
     index_config = IndexConfig(**config["index"])
     system = PPQTrajectory(ppq_config=ppq_config, cqc_config=cqc_config,
                            index_config=index_config, variant=config["variant"])
+    report.record(SECTION_CONFIG, "ok")
 
-    codebook = _decode_codebook(payloads[SECTION_CODEBOOK])
+    codebook = _decode_codebook(_read_section(payloads, SECTION_CODEBOOK))
+    report.record(SECTION_CODEBOOK, "ok")
     cqc_coder = None
     if cqc_config.enabled:
         cqc_coder = CQCCoder(epsilon=ppq_config.epsilon1, grid_size=cqc_config.grid_size)
     summary = TrajectorySummary(ppq_config, cqc_config, codebook, cqc_coder)
-    _decode_records(payloads[SECTION_RECORDS], summary)
-    _decode_reconstructions(payloads[SECTION_RECON], summary)
+    _decode_records(_read_section(payloads, SECTION_RECORDS), summary)
+    report.record(SECTION_RECORDS, "ok")
 
-    index = _decode_index(payloads[SECTION_INDEX], index_config)
-    raw_dataset = None
-    if SECTION_RAWDATA in payloads:
-        raw_dataset = _decode_dataset(payloads[SECTION_RAWDATA])
+    if strict:
+        _decode_reconstructions(_read_section(payloads, SECTION_RECON), summary)
+        report.record(SECTION_RECON, "ok")
+        index = _decode_index(_read_section(payloads, SECTION_INDEX), index_config)
+        report.record(SECTION_INDEX, "ok")
+        raw_dataset = None
+        if SECTION_RAWDATA in payloads:
+            raw_dataset = _decode_dataset(_read_section(payloads, SECTION_RAWDATA))
+            report.record(SECTION_RAWDATA, "ok")
+    else:
+        index, raw_dataset = _salvage_sections(
+            payloads, crc_ok, summary, index_config, report
+        )
 
     system.summary = summary
     system._dataset = raw_dataset
     system.engine = QueryEngine(summary, index_config, raw_dataset=raw_dataset, index=index)
+    system.load_report = report
     return system
+
+
+def _salvage_sections(payloads: dict[str, bytes], crc_ok: dict[str, bool],
+                      summary: TrajectorySummary, index_config: IndexConfig,
+                      report: LoadReport):
+    """Decode the derivable sections of a damaged artifact, rebuilding as needed.
+
+    Returns ``(index, raw_dataset)`` where ``index`` is ``None`` when the
+    stored TPI was unusable (the caller's ``QueryEngine`` then rebuilds it
+    deterministically from the summary's reconstructions -- the same
+    seed-0 build that produced the original at fit time, so the rebuilt
+    index is bit-identical) and ``raw_dataset`` is ``None`` when the
+    raw-data section was damaged or absent.
+    """
+    if SECTION_RECON in payloads and crc_ok[SECTION_RECON]:
+        try:
+            _decode_reconstructions(_read_section(payloads, SECTION_RECON), summary)
+            report.record(SECTION_RECON, "ok")
+        except Exception as exc:  # noqa: BLE001 - any decode failure is salvageable
+            summary._reconstructions.clear()
+            report.record(SECTION_RECON, "rebuilt",
+                          f"decode failed ({exc}); recomputed lazily from records")
+    else:
+        detail = "missing" if SECTION_RECON not in payloads else "checksum mismatch"
+        report.record(SECTION_RECON, "rebuilt",
+                      f"{detail}; recomputed lazily from records")
+
+    index = None
+    if SECTION_INDEX in payloads and crc_ok[SECTION_INDEX]:
+        try:
+            index = _decode_index(_read_section(payloads, SECTION_INDEX), index_config)
+            report.record(SECTION_INDEX, "ok")
+        except Exception as exc:  # noqa: BLE001 - any decode failure is salvageable
+            index = None
+            report.record(SECTION_INDEX, "rebuilt",
+                          f"decode failed ({exc}); rebuilt from summary reconstructions")
+    else:
+        detail = "missing" if SECTION_INDEX not in payloads else "checksum mismatch"
+        report.record(SECTION_INDEX, "rebuilt",
+                      f"{detail}; rebuilt from summary reconstructions")
+
+    raw_dataset = None
+    if SECTION_RAWDATA in payloads:
+        if crc_ok[SECTION_RAWDATA]:
+            try:
+                raw_dataset = _decode_dataset(_read_section(payloads, SECTION_RAWDATA))
+                report.record(SECTION_RAWDATA, "ok")
+            except Exception as exc:  # noqa: BLE001 - dropping raw data is safe
+                report.record(SECTION_RAWDATA, "dropped", f"decode failed ({exc})")
+        else:
+            report.record(SECTION_RAWDATA, "dropped", "checksum mismatch")
+        if raw_dataset is None:
+            report.mark_lost("exact queries")
+            warnings.warn(
+                "RAWDATA section of the artifact is damaged; raw trajectories "
+                "were dropped and exact-match queries are disabled",
+                RuntimeWarning, stacklevel=3,
+            )
+    return index, raw_dataset
 
 
 @dataclass(frozen=True)

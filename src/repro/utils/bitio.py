@@ -8,6 +8,8 @@ that index sizes and compression ratios can be measured faithfully.
 
 from __future__ import annotations
 
+from repro.reliability import faults as _faults
+
 
 class BitWriter:
     """Accumulates bits most-significant-bit first and renders them to bytes.
@@ -116,6 +118,8 @@ class BitReader:
 
     def read_bit(self) -> int:
         """Read a single bit; raises ``EOFError`` when exhausted."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.check("bitio.read", key=self._pos)
         if self._pos >= len(self._bits):
             raise EOFError("bit stream exhausted")
         bit = self._bits[self._pos]

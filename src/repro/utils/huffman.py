@@ -13,6 +13,7 @@ import heapq
 from collections import Counter
 from collections.abc import Iterable, Sequence
 
+from repro.reliability import faults as _faults
 from repro.utils.bitio import BitReader, BitWriter
 
 
@@ -106,6 +107,8 @@ class HuffmanCodec:
 
     def decode(self, payload: bytes, bit_length: int) -> list:
         """Decode ``bit_length`` bits of ``payload`` back into symbols."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.check("huffman.decode", key=bit_length)
         reader = BitReader(payload, bit_length=bit_length)
         out: list = []
         buffer = ""

@@ -21,19 +21,34 @@ def ensure_in_range(name: str, value: float, low: float, high: float) -> float:
     return value
 
 
-def ensure_points_array(points, name: str = "points") -> np.ndarray:
+def ensure_points_array(points, name: str = "points",
+                        allow_empty: bool = False) -> np.ndarray:
     """Coerce ``points`` into a float array of shape ``(n, 2)``.
 
     Accepts lists of pairs or arrays; raises ``ValueError`` for anything that
-    cannot be interpreted as two-dimensional coordinates.
+    cannot be interpreted as two-dimensional coordinates, for NaN or infinite
+    coordinates (which would otherwise flow silently into the quantizer and
+    index), and -- unless ``allow_empty`` is true -- for empty inputs.
     """
     arr = np.asarray(points, dtype=float)
     if arr.ndim == 1:
         if arr.size == 0:
-            return arr.reshape(0, 2)
-        if arr.size == 2:
-            return arr.reshape(1, 2)
+            arr = arr.reshape(0, 2)
+        elif arr.size == 2:
+            arr = arr.reshape(1, 2)
+        else:
+            raise ValueError(f"{name} must have shape (n, 2), got {arr.shape}")
+    elif arr.ndim != 2 or arr.shape[1] != 2:
         raise ValueError(f"{name} must have shape (n, 2), got {arr.shape}")
-    if arr.ndim != 2 or arr.shape[1] != 2:
-        raise ValueError(f"{name} must have shape (n, 2), got {arr.shape}")
+    if len(arr) == 0:
+        if not allow_empty:
+            raise ValueError(f"{name} must contain at least one point")
+        return arr
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.flatnonzero(~np.isfinite(arr).all(axis=1))[0])
+        raise ValueError(
+            f"{name} contains non-finite coordinates (first bad row: index "
+            f"{bad}, value {arr[bad].tolist()}); NaN/inf positions are not "
+            "representable"
+        )
     return arr

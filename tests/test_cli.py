@@ -1,10 +1,23 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import build_parser, build_system, load_dataset, main, run_compress, run_query
+from repro.cli import (
+    EXIT_ARTIFACT,
+    EXIT_QUERY,
+    EXIT_USAGE,
+    EXIT_WORKLOAD,
+    build_parser,
+    build_system,
+    load_dataset,
+    main,
+    run_compress,
+    run_query,
+)
+from repro.storage import inspect_model
 
 
 class TestParser:
@@ -79,3 +92,103 @@ class TestCommands:
         code = main(["compress", "--synthetic", "porto", "--trajectories", "5", "--seed", "1"])
         assert code == 0
         assert "points" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def saved_model(tmp_path_factory):
+    """A small saved artifact shared by the exit-code and chaos tests."""
+    path = tmp_path_factory.mktemp("cli") / "model.ppq"
+    code = main(["save", "--synthetic", "porto", "--trajectories", "8",
+                 "--seed", "3", "--output", str(path)])
+    assert code == 0
+    return path
+
+
+class TestExitCodes:
+    def test_missing_artifact_is_usage_error(self, tmp_path, capsys):
+        assert main(["load", str(tmp_path / "nope.ppq")]) == EXIT_USAGE
+        assert "cannot read artifact" in capsys.readouterr().err
+
+    def test_malformed_artifact_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.ppq"
+        bad.write_bytes(b"this is not a model artifact" * 8)
+        assert main(["load", str(bad)]) == EXIT_ARTIFACT
+        assert main(["info", str(bad)]) == EXIT_ARTIFACT
+        assert main(["query", "--model", str(bad), "--x", "0", "--y", "0",
+                     "--t", "0"]) == EXIT_ARTIFACT
+        err = capsys.readouterr().err
+        assert "error: artifact" in err
+
+    def test_corrupt_artifact_strict_vs_salvage(self, saved_model, tmp_path, capsys):
+        section = next(s for s in inspect_model(saved_model).sections
+                       if s.name == "INDEX")
+        blob = bytearray(saved_model.read_bytes())
+        blob[section.offset + section.length // 2] ^= 0xFF
+        bad = tmp_path / "corrupt.ppq"
+        bad.write_bytes(bytes(blob))
+
+        assert main(["load", str(bad)]) == EXIT_ARTIFACT
+        capsys.readouterr()
+        assert main(["load", "--no-strict", str(bad)]) == 0
+        out = capsys.readouterr().out
+        assert "salvaged" in out
+        assert "INDEX: rebuilt" in out
+
+    def test_bad_workload_exit_code(self, saved_model, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([{"type": "bogus", "x": 0, "y": 0, "t": 0}]))
+        assert main(["query", "--model", str(saved_model),
+                     "--workload", str(bad)]) == EXIT_WORKLOAD
+        assert "invalid workload" in capsys.readouterr().err
+
+    def test_missing_workload_file_is_usage_error(self, saved_model, tmp_path):
+        assert main(["query", "--model", str(saved_model),
+                     "--workload", str(tmp_path / "none.json")]) == EXIT_USAGE
+
+    def test_failed_query_exit_code(self, tmp_path, capsys):
+        """Exact queries against a --no-raw artifact fail with EXIT_QUERY."""
+        path = tmp_path / "noraw.ppq"
+        assert main(["save", "--synthetic", "porto", "--trajectories", "6",
+                     "--seed", "3", "--output", str(path), "--no-raw"]) == 0
+        workload = tmp_path / "exact.json"
+        workload.write_text(json.dumps([{"type": "exact", "x": 0, "y": 0, "t": 0}]))
+        capsys.readouterr()
+        assert main(["query", "--model", str(path),
+                     "--workload", str(workload)]) == EXIT_QUERY
+        err = capsys.readouterr().err
+        assert "query #0 (exact) failed" in err
+
+    def test_good_workload_still_exits_zero(self, saved_model, tmp_path, capsys):
+        workload = tmp_path / "ok.json"
+        workload.write_text(json.dumps([{"type": "strq", "x": 0, "y": 0, "t": 0}]))
+        assert main(["query", "--model", str(saved_model),
+                     "--workload", str(workload)]) == 0
+        assert "workload" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_chaos_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+
+    def test_chaos_rejects_unknown_fault_point(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--synthetic", "porto",
+                                       "--fault-points", "bogus.point"])
+
+    def test_chaos_degrade_is_equivalent(self, saved_model, capsys):
+        code = main(["chaos", "--model", str(saved_model), "--queries", "8",
+                     "--fault-points", "index.cell_decode", "--fault-seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "fault seed          : 5" in out
+        assert "equivalence         : ok" in out
+        assert "query errors        : 0" in out
+
+    def test_chaos_fail_fast_surfaces_errors(self, saved_model, capsys):
+        code = main(["chaos", "--model", str(saved_model), "--queries", "4",
+                     "--mode", "fail-fast"])
+        captured = capsys.readouterr()
+        assert code == EXIT_QUERY
+        assert "FAILED" in captured.out
+        assert "not equivalent" in captured.err

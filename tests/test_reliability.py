@@ -1,0 +1,491 @@
+"""Fault-matrix tests for the reliability layer (fault injection, retry,
+graceful degradation).
+
+The acceptance criterion under test: with faults injected into the decode
+path (every TPI cell decode, Huffman decode, or bit read), STRQ/TPQ answered
+through a degrading :class:`QueryEngine` return results *identical* to the
+fault-free path -- the engine quarantines the failing cell, recomputes its
+postings from the summary reconstructions, and retries.
+
+``CHAOS_SEED`` parameterises the probabilistic cases; CI runs the suite once
+with the fixed default and once with a randomized seed (echoed in the log),
+so a failure is always reproducible by exporting the same value.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import PPQTrajectory
+from repro.data.synthetic import generate_porto_like
+from repro.index.grid import PostingDecodeError
+from repro.queries.batch import Workload
+from repro.queries.engine import QueryEngine
+from repro.reliability import (
+    INJECTION_POINTS,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    QueryError,
+    RetryExhaustedError,
+    RetryPolicy,
+    inject_faults,
+    is_transient_error,
+    recompute_cell_postings,
+)
+from repro.reliability import faults as faults_module
+from repro.storage import load_model
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1337"))
+
+#: Decode-path points where a persistent fault is recoverable by cell repair.
+DECODE_POINTS = ("index.cell_decode", "huffman.decode", "bitio.read")
+
+
+# ---------------------------------------------------------------------- #
+# fixtures -- module-local system: quarantine repairs mutate grid caches,
+# so these tests must not share the session-scoped fitted fixtures.
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def dataset():
+    # Small on purpose: persistent-fault tests quarantine and repair every
+    # decoded cell, and repair cost grows with cells x period length.
+    return generate_porto_like(num_trajectories=15, max_length=35, seed=11)
+
+
+@pytest.fixture(scope="module")
+def system(dataset):
+    return PPQTrajectory.ppq_s().fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def probes(dataset):
+    rng = np.random.default_rng(CHAOS_SEED)
+    ids = dataset.trajectory_ids
+    out = []
+    while len(out) < 15:
+        traj = dataset.get(int(rng.choice(ids)))
+        row = int(rng.integers(0, len(traj)))
+        out.append((float(traj.points[row, 0]), float(traj.points[row, 1]),
+                    int(traj.timestamps[row])))
+    return out
+
+
+@pytest.fixture(scope="module")
+def clean_results(system, probes):
+    """Fault-free scalar answers, computed once on the model's own engine."""
+    strq = [system.strq(x, y, t) for x, y, t in probes]
+    tpq = [system.tpq(x, y, t, length=6) for x, y, t in probes]
+    assert any(r.candidates for r in strq), "probes never hit the index"
+    return strq, tpq
+
+
+def fresh_engine(system, **kwargs):
+    """A new engine with a freshly built index -- no caches can mask faults."""
+    return QueryEngine(system.summary, system.engine.index_config,
+                       raw_dataset=system.engine.raw_dataset, **kwargs)
+
+
+def assert_strq_equal(a, b):
+    assert a.candidates == b.candidates
+    assert sorted(a.reconstructed) == sorted(b.reconstructed)
+    for tid in a.reconstructed:
+        assert np.array_equal(a.reconstructed[tid], b.reconstructed[tid])
+
+
+def assert_tpq_equal(a, b):
+    assert sorted(a.paths) == sorted(b.paths)
+    for tid in a.paths:
+        assert np.array_equal(a.paths[tid], b.paths[tid])
+
+
+# ---------------------------------------------------------------------- #
+# fault plan / injector mechanics
+# ---------------------------------------------------------------------- #
+class TestFaultInjection:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultPlan().add("index.bogus")
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultPlan.from_spec(["storage.section_read", "nope"])
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan().add("bitio.read", probability=1.5)
+
+    def test_inactive_by_default(self):
+        assert faults_module.ACTIVE is None
+
+    def test_context_manager_restores_previous(self):
+        plan = FaultPlan().add("bitio.read")
+        with inject_faults(plan) as outer:
+            assert faults_module.ACTIVE is outer
+            with inject_faults(FaultPlan()) as inner:
+                assert faults_module.ACTIVE is inner
+            assert faults_module.ACTIVE is outer
+        assert faults_module.ACTIVE is None
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with inject_faults(FaultPlan()):
+                raise RuntimeError("boom")
+        assert faults_module.ACTIVE is None
+
+    def test_max_fires_limits_faults(self):
+        injector = FaultInjector(FaultPlan().add("bitio.read", max_fires=2))
+        fired = 0
+        for _ in range(5):
+            try:
+                injector.check("bitio.read")
+            except FaultError:
+                fired += 1
+        assert fired == 2
+        assert injector.fired == {"bitio.read": 2}
+        assert injector.checked == {"bitio.read": 5}
+        assert injector.total_fired == 2
+
+    def test_key_scoped_rule(self):
+        injector = FaultInjector(FaultPlan().add("index.cell_decode", key=(1, 2)))
+        injector.check("index.cell_decode", key=(0, 0))  # no fault
+        with pytest.raises(FaultError) as err:
+            injector.check("index.cell_decode", key=(1, 2))
+        assert err.value.key == (1, 2)
+        assert err.value.point == "index.cell_decode"
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed):
+            injector = FaultInjector(
+                FaultPlan(seed=seed).add("huffman.decode", probability=0.5))
+            fires = []
+            for _ in range(64):
+                try:
+                    injector.check("huffman.decode")
+                    fires.append(False)
+                except FaultError:
+                    fires.append(True)
+            return fires
+
+        assert pattern(CHAOS_SEED) == pattern(CHAOS_SEED)
+        assert any(pattern(CHAOS_SEED)) and not all(pattern(CHAOS_SEED))
+
+    def test_transient_flag_propagates(self):
+        injector = FaultInjector(FaultPlan().add("bitio.read", transient=True))
+        with pytest.raises(FaultError) as err:
+            injector.check("bitio.read")
+        assert err.value.transient
+        assert is_transient_error(err.value)
+
+    def test_every_injection_point_is_reachable(self, system, probes, tmp_path):
+        """Each named point fires somewhere on the save/load/query path."""
+        path = tmp_path / "m.ppq"
+        system.save(path)
+        t0 = system.summary.timestamps[0]
+        tid = sorted(system.summary.trajectories_at(t0))[0]
+
+        def exercise_everything():
+            for step in (
+                lambda: load_model(path),
+                lambda: [fresh_engine(system).strq(px, py, pt)
+                         for px, py, pt in probes],
+                lambda: system.summary.reconstruct_point(tid, t0),
+            ):
+                try:
+                    step()
+                except Exception:  # noqa: BLE001 - faults are the point here
+                    pass
+
+        for point in INJECTION_POINTS:
+            plan = FaultPlan().add(point, max_fires=1)
+            with inject_faults(plan) as injector:
+                exercise_everything()
+            assert injector.total_fired >= 1, f"{point} never fired"
+
+
+# ---------------------------------------------------------------------- #
+# retry policy
+# ---------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-0.1)
+
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise FaultError("bitio.read", transient=True)
+            return "ok"
+
+        sleeps = []
+        policy = RetryPolicy(max_retries=3, backoff=0.1, multiplier=2.0)
+        assert policy.call(flaky, sleep=sleeps.append) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(backoff=1.0, multiplier=10.0, max_backoff=2.5)
+        assert policy.delay_for(0) == pytest.approx(1.0)
+        assert policy.delay_for(1) == pytest.approx(2.5)
+        assert policy.delay_for(5) == pytest.approx(2.5)
+
+    def test_exhaustion_raises_with_last_error(self):
+        def always_fails():
+            raise FaultError("bitio.read", transient=True)
+
+        policy = RetryPolicy(max_retries=2, backoff=0.0)
+        with pytest.raises(RetryExhaustedError) as err:
+            policy.call(always_fails, sleep=lambda _: None)
+        assert err.value.attempts == 3
+        assert isinstance(err.value.last_error, FaultError)
+        assert not err.value.deadline_exceeded
+
+    def test_non_transient_error_propagates_raw(self):
+        def fails():
+            raise FaultError("index.cell_decode", transient=False)
+
+        with pytest.raises(FaultError):
+            RetryPolicy(max_retries=5, backoff=0.0).call(fails, sleep=lambda _: None)
+
+    def test_deadline_stops_retrying(self):
+        clock = {"now": 0.0}
+
+        def fake_clock():
+            return clock["now"]
+
+        def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        def always_fails():
+            clock["now"] += 0.4
+            raise FaultError("bitio.read", transient=True)
+
+        policy = RetryPolicy(max_retries=50, backoff=0.1, deadline=1.0)
+        with pytest.raises(RetryExhaustedError) as err:
+            policy.call(always_fails, sleep=fake_sleep, clock=fake_clock)
+        assert err.value.deadline_exceeded
+        assert err.value.attempts < 50
+
+    def test_custom_retryable_predicate(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("spurious")
+            return 42
+
+        policy = RetryPolicy(max_retries=1, backoff=0.0)
+        assert policy.call(flaky, retryable=lambda e: isinstance(e, ValueError),
+                           sleep=lambda _: None) == 42
+
+
+# ---------------------------------------------------------------------- #
+# graceful degradation -- the acceptance criterion
+# ---------------------------------------------------------------------- #
+class TestGracefulDegradation:
+    @pytest.mark.parametrize("point", DECODE_POINTS)
+    def test_scalar_queries_identical_under_persistent_faults(
+            self, system, probes, clean_results, point):
+        """Faults in every cell decode must not change a single answer."""
+        clean_strq, clean_tpq = clean_results
+        engine = fresh_engine(system)
+        plan = FaultPlan(seed=CHAOS_SEED).add(point)
+        with inject_faults(plan) as injector:
+            for (x, y, t), want in zip(probes, clean_strq):
+                assert_strq_equal(want, engine.strq(x, y, t))
+            for (x, y, t), want in zip(probes, clean_tpq):
+                assert_tpq_equal(want, engine.tpq(x, y, t, length=6))
+        assert injector.total_fired > 0, f"{point} never fired; test is vacuous"
+        assert engine.quarantined, "no cell was quarantined"
+        for record in engine.quarantined:
+            assert record.period_start <= record.period_end
+            assert record.reason
+
+    @pytest.mark.parametrize("point", DECODE_POINTS)
+    def test_batch_queries_identical_under_persistent_faults(
+            self, system, probes, point):
+        # The batched lookups scan whole periods, so a handful of probes
+        # already exercises quarantine/repair across many cells; more probes
+        # only add runtime, not coverage.
+        workload = Workload.from_obj(
+            [{"type": ("strq", "tpq")[i % 2], "x": x, "y": y, "t": t,
+              "length": 6}
+             for i, (x, y, t) in enumerate(probes[:6])])
+        clean = system.engine.run_batch(workload)
+        engine = fresh_engine(system)
+        plan = FaultPlan(seed=CHAOS_SEED).add(point)
+        with inject_faults(plan) as injector:
+            faulted = engine.run_batch(workload, isolate=True)
+        assert injector.total_fired > 0
+        assert not any(isinstance(r, QueryError) for r in faulted)
+        for want, got in zip(clean, faulted):
+            assert type(want) is type(got)
+            if hasattr(want, "paths"):
+                assert_tpq_equal(want, got)
+            else:
+                assert_strq_equal(want, got)
+
+    def test_probabilistic_faults_also_degrade_cleanly(
+            self, system, probes, clean_results):
+        clean_strq, _ = clean_results
+        engine = fresh_engine(system)
+        plan = FaultPlan(seed=CHAOS_SEED).add("index.cell_decode", probability=0.5)
+        with inject_faults(plan):
+            for (x, y, t), want in zip(probes, clean_strq):
+                assert_strq_equal(want, engine.strq(x, y, t))
+
+    def test_fail_fast_mode_raises(self, system, probes):
+        engine = fresh_engine(system, on_fault="raise")
+        plan = FaultPlan().add("index.cell_decode")
+        with inject_faults(plan):
+            with pytest.raises(PostingDecodeError):
+                for x, y, t in probes:
+                    engine.strq(x, y, t)
+        assert not engine.quarantined
+
+    def test_transient_faults_absorbed_by_retry(self, system, probes, clean_results):
+        """A flaky lookup that fails twice then succeeds is retried away."""
+        clean_strq, _ = clean_results
+        engine = fresh_engine(system, retry_policy=RetryPolicy(max_retries=3,
+                                                               backoff=0.0))
+        plan = FaultPlan().add("index.tpi_lookup", max_fires=2, transient=True)
+        with inject_faults(plan) as injector:
+            for (x, y, t), want in zip(probes, clean_strq):
+                assert_strq_equal(want, engine.strq(x, y, t))
+        assert injector.total_fired == 2
+        assert not engine.quarantined  # retries sufficed; nothing was repaired
+
+    def test_transient_decode_faults_absorbed_by_retry(self, system, probes,
+                                                       clean_results):
+        clean_strq, _ = clean_results
+        engine = fresh_engine(system, retry_policy=RetryPolicy(max_retries=3,
+                                                               backoff=0.0))
+        plan = FaultPlan().add("summary.reconstruct", max_fires=2, transient=True)
+        with inject_faults(plan):
+            for (x, y, t), want in zip(probes, clean_strq):
+                assert_strq_equal(want, engine.strq(x, y, t))
+
+    def test_persistent_transient_marked_fault_exhausts_then_degrades(
+            self, system, probes, clean_results):
+        """Retries run out against persistent corruption; repair still wins."""
+        clean_strq, _ = clean_results
+        engine = fresh_engine(system, retry_policy=RetryPolicy(max_retries=1,
+                                                               backoff=0.0))
+        plan = FaultPlan(seed=CHAOS_SEED).add("index.cell_decode", transient=True)
+        with inject_faults(plan):
+            for (x, y, t), want in zip(probes, clean_strq):
+                assert_strq_equal(want, engine.strq(x, y, t))
+        assert engine.quarantined
+
+    def test_unguarded_engine_fails_without_reliability_layer(self, system, probes):
+        """Sanity: the faults are real -- without degradation they surface."""
+        engine = fresh_engine(system, on_fault="raise")
+        plan = FaultPlan().add("bitio.read")
+        with inject_faults(plan):
+            with pytest.raises((PostingDecodeError, FaultError)):
+                for x, y, t in probes:
+                    engine.strq(x, y, t)
+
+    def test_recomputed_postings_match_stored_postings(self, system):
+        """The repair path rebuilds exactly what the artifact stored."""
+        engine = fresh_engine(system)
+        checked = 0
+        for period in engine.index.periods:
+            for grid in period.index.grids:
+                for cell in list(grid._cells)[:3]:
+                    recovered = recompute_cell_postings(
+                        system.summary, grid, cell, period.start, period.end)
+                    assert recovered == sorted(grid.ids_in_cell(cell))
+                    checked += 1
+            if checked >= 12:
+                break
+        assert checked > 0
+
+    def test_repair_is_durable_across_queries(self, system, probes, clean_results):
+        """Once repaired, a cell keeps serving after faults are disarmed."""
+        clean_strq, _ = clean_results
+        engine = fresh_engine(system)
+        with inject_faults(FaultPlan().add("index.cell_decode")):
+            for x, y, t in probes:
+                engine.strq(x, y, t)
+        quarantined = len(engine.quarantined)
+        assert quarantined > 0
+        # Faults off: the patched cells still answer identically.
+        for (x, y, t), want in zip(probes, clean_strq):
+            assert_strq_equal(want, engine.strq(x, y, t))
+        assert len(engine.quarantined) == quarantined
+
+
+# ---------------------------------------------------------------------- #
+# per-query isolation in run_batch
+# ---------------------------------------------------------------------- #
+class TestBatchIsolation:
+    def test_exact_without_raw_raises_unless_isolated(self, system, probes):
+        engine = QueryEngine(system.summary, system.engine.index_config,
+                             raw_dataset=None)
+        x, y, t = probes[0]
+        workload = Workload.from_obj([
+            {"type": "strq", "x": x, "y": y, "t": t},
+            {"type": "exact", "x": x, "y": y, "t": t},
+        ])
+        with pytest.raises(RuntimeError, match="raw dataset"):
+            engine.run_batch(workload)
+        results = engine.run_batch(workload, isolate=True)
+        assert not isinstance(results[0], QueryError)
+        assert isinstance(results[1], QueryError)
+        assert results[1].index == 1
+        assert results[1].kind == "exact"
+        assert results[1].error_type == "RuntimeError"
+        assert "raw dataset" in results[1].message
+
+    def test_isolated_errors_keep_positions_aligned(self, system, probes):
+        """Failing queries produce records in place; the rest still answer."""
+        engine = fresh_engine(system, on_fault="raise")
+        workload = Workload.from_obj(
+            [{"type": "strq", "x": x, "y": y, "t": t} for x, y, t in probes])
+        plan = FaultPlan(seed=CHAOS_SEED).add("index.cell_decode",
+                                              probability=0.7)
+        with inject_faults(plan):
+            results = engine.run_batch(workload, isolate=True)
+        assert len(results) == len(probes)
+        errors = [r for r in results if isinstance(r, QueryError)]
+        assert errors, "no query failed; isolation test is vacuous"
+        for err in errors:
+            assert results[err.index] is err
+            assert err.kind == "strq"
+            assert err.error_type
+
+    def test_query_error_from_exception_captures_transience(self):
+        err = QueryError.from_exception(3, "tpq",
+                                        FaultError("bitio.read", transient=True))
+        assert err.index == 3 and err.kind == "tpq"
+        assert err.transient
+        persistent = QueryError.from_exception(0, "strq", ValueError("bad"))
+        assert not persistent.transient
+
+
+# ---------------------------------------------------------------------- #
+# storage fault injection
+# ---------------------------------------------------------------------- #
+class TestStorageFaults:
+    def test_section_read_fault_fails_load(self, system, tmp_path):
+        path = tmp_path / "m.ppq"
+        system.save(path)
+        plan = FaultPlan().add("storage.section_read", key="RECORDS")
+        with inject_faults(plan) as injector:
+            with pytest.raises(FaultError):
+                load_model(path)
+        assert injector.fired.get("storage.section_read") == 1
+
+    def test_load_succeeds_with_faults_disarmed(self, system, tmp_path):
+        path = tmp_path / "m.ppq"
+        system.save(path)
+        loaded = load_model(path)
+        assert loaded.summary.num_points == system.summary.num_points

@@ -254,3 +254,108 @@ def test_module_level_save_load_match_methods(saved, tmp_path, dataset):
     loaded = load_model(path)
     x, y, t = _query_probes(dataset, n=1, seed=21)[0]
     assert loaded.strq(x, y, t).candidates == original.strq(x, y, t).candidates
+
+
+# ---------------------------------------------------------------------- #
+# salvage loading (strict=False)
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def salvage_saved(dataset, tmp_path_factory):
+    """One fitted+saved system reused by every salvage case below."""
+    system = PPQTrajectory.ppq_s().fit(dataset)
+    path = tmp_path_factory.mktemp("salvage") / "model.ppq"
+    system.save(path)
+    return system, path
+
+
+def _flip_section_byte(path, tmp_path, name):
+    """Copy the artifact with one byte flipped inside section ``name``."""
+    blob = bytearray(path.read_bytes())
+    section = next(s for s in inspect_model(path).sections if s.name == name)
+    blob[section.offset + section.length // 2] ^= 0xFF
+    bad = tmp_path / f"flip_{name}.ppq"
+    bad.write_bytes(bytes(blob))
+    return bad
+
+
+def _assert_strq_equal(a_system, b_system, dataset):
+    hits = False
+    for x, y, t in _query_probes(dataset, n=12, seed=17):
+        ra, rb = a_system.strq(x, y, t), b_system.strq(x, y, t)
+        assert ra.candidates == rb.candidates
+        for tid in ra.reconstructed:
+            assert np.array_equal(ra.reconstructed[tid], rb.reconstructed[tid])
+        hits = hits or bool(ra.candidates)
+    assert hits, "probe set never hit the index; comparison is vacuous"
+
+
+def test_salvage_rebuilds_corrupt_index(salvage_saved, tmp_path, dataset):
+    original, path = salvage_saved
+    bad = _flip_section_byte(path, tmp_path, "INDEX")
+    with pytest.raises(ArtifactChecksumError):
+        load_model(bad)  # default stays strict
+    loaded = load_model(bad, strict=False)
+    report = loaded.load_report
+    assert report is not None and not report.clean
+    assert report.rebuilt == ["INDEX"]
+    assert not report.dropped and not report.lost
+    # The rebuilt TPI serves queries identical to the undamaged model.
+    _assert_strq_equal(original, loaded, dataset)
+
+
+def test_salvage_recomputes_corrupt_reconstructions(salvage_saved, tmp_path, dataset):
+    original, path = salvage_saved
+    bad = _flip_section_byte(path, tmp_path, "RECON")
+    loaded = load_model(bad, strict=False)
+    assert loaded.load_report.rebuilt == ["RECON"]
+    for t in original.summary.timestamps[:10]:
+        for tid in original.summary.trajectories_at(t):
+            assert np.array_equal(original.summary.reconstruct_point(tid, t),
+                                  loaded.summary.reconstruct_point(tid, t))
+    _assert_strq_equal(original, loaded, dataset)
+
+
+def test_salvage_drops_corrupt_rawdata(salvage_saved, tmp_path, dataset):
+    original, path = salvage_saved
+    bad = _flip_section_byte(path, tmp_path, "RAWDATA")
+    with pytest.warns(RuntimeWarning, match="exact"):
+        loaded = load_model(bad, strict=False)
+    report = loaded.load_report
+    assert report.dropped == ["RAWDATA"]
+    assert "exact queries" in report.lost
+    assert any("lost capabilities" in line for line in report.lines())
+    x, y, t = _query_probes(dataset, n=1, seed=23)[0]
+    with pytest.raises(RuntimeError, match="raw dataset"):
+        loaded.exact(x, y, t)
+    _assert_strq_equal(original, loaded, dataset)  # approx queries unaffected
+
+
+@pytest.mark.parametrize("section", ["CONFIG", "CODEBOOK", "RECORDS"])
+def test_salvage_cannot_recover_required_sections(salvage_saved, tmp_path, section):
+    _, path = salvage_saved
+    bad = _flip_section_byte(path, tmp_path, section)
+    with pytest.raises(ArtifactChecksumError):
+        load_model(bad, strict=False)
+
+
+def test_salvage_of_truncated_tail(salvage_saved, tmp_path, dataset):
+    """A tail truncation (mid-RAWDATA) salvages into a query-able system."""
+    original, path = salvage_saved
+    blob = path.read_bytes()
+    rawdata = next(s for s in inspect_model(path).sections if s.name == "RAWDATA")
+    bad = tmp_path / "truncated.ppq"
+    bad.write_bytes(blob[: rawdata.offset + rawdata.length // 3])
+    with pytest.raises(ArtifactError):
+        load_model(bad)
+    with pytest.warns(RuntimeWarning):
+        loaded = load_model(bad, strict=False)
+    assert "RAWDATA" in loaded.load_report.dropped
+    _assert_strq_equal(original, loaded, dataset)
+
+
+def test_non_strict_load_of_clean_artifact_reports_all_ok(salvage_saved):
+    _, path = salvage_saved
+    loaded = load_model(path, strict=False)
+    report = loaded.load_report
+    assert report.clean
+    assert [s.status for s in report.sections] == ["ok"] * len(report.sections)

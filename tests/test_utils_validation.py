@@ -41,9 +41,31 @@ class TestEnsurePointsArray:
         arr = ensure_points_array([1.0, 2.0])
         assert arr.shape == (1, 2)
 
-    def test_empty(self):
-        arr = ensure_points_array([])
+    def test_empty_rejected_by_default(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            ensure_points_array([])
+
+    def test_empty_allowed_when_opted_in(self):
+        arr = ensure_points_array([], allow_empty=True)
         assert arr.shape == (0, 2)
+        arr = ensure_points_array(np.empty((0, 2)), allow_empty=True)
+        assert arr.shape == (0, 2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            ensure_points_array([[0.0, np.nan]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            ensure_points_array([[np.inf, 1.0], [0.0, 0.0]])
+
+    def test_nan_rejected_even_with_allow_empty(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            ensure_points_array([[0.0, 1.0], [np.nan, 2.0]], allow_empty=True)
+
+    def test_error_names_first_bad_row(self):
+        with pytest.raises(ValueError, match="index 1"):
+            ensure_points_array([[0.0, 1.0], [np.nan, 2.0]])
 
     def test_wrong_width_rejected(self):
         with pytest.raises(ValueError):
