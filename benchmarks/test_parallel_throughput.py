@@ -1,0 +1,120 @@
+"""Scaling benchmark for the multiprocess batch-serving layer.
+
+Not a table of the paper: this benchmark covers the parallel serving
+subsystem built on top of the reproduction.  A mixed STRQ/TPQ workload is
+answered once through the in-process ``run_batch`` path (``jobs=1``) and
+once through a warmed :class:`~repro.parallel.ParallelExecutor`; the
+parallel path must produce identical answers at ``PARALLEL_SPEEDUP_FLOOR``
+(default 1.7x) the throughput with ``PARALLEL_BENCH_JOBS`` (default 4)
+workers.
+
+The comparison only makes sense when the workers can actually run in
+parallel, so the speedup assertion is skipped when the process has fewer
+usable CPUs than workers (the identity check still runs).  CI smoke mode
+(``PARALLEL_BENCH_SMOKE=1``) drops to 2 workers and a smaller workload and
+relaxes the floor through the environment -- there the benchmark is an
+import/API-rot canary, not a performance gate, because shared runners give
+no scheduling guarantees.
+
+The pool is warmed (workers started, artifact loaded) before timing: worker
+startup is a one-time cost a long-running serving fleet amortises away.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import make_queries, print_table
+from repro.core.pipeline import PPQTrajectory
+from repro.parallel import ParallelExecutor
+from repro.queries.batch import QuerySpec
+
+SMOKE = os.environ.get("PARALLEL_BENCH_SMOKE", "") == "1"
+JOBS = int(os.environ.get("PARALLEL_BENCH_JOBS", "2" if SMOKE else "4"))
+NUM_QUERIES = 120 if SMOKE else 400
+# >= 1.7x at 4 workers is the acceptance criterion on a quiet multi-core
+# machine; CI smoke mode relaxes the floor through the environment because
+# shared runners give no scheduling guarantees.
+MIN_SPEEDUP = float(os.environ.get("PARALLEL_SPEEDUP_FLOOR", "1.7"))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def saved_system(porto_bench, tmp_path_factory):
+    """A fitted system and its saved artifact (what the workers load)."""
+    system = PPQTrajectory.ppq_s().fit(porto_bench)
+    path = tmp_path_factory.mktemp("parallel-bench") / "model.ppq"
+    system.save(path)
+    return system, path
+
+
+@pytest.fixture(scope="module")
+def workload(porto_bench):
+    specs = []
+    for i, (x, y, t, _tid) in enumerate(make_queries(porto_bench, NUM_QUERIES,
+                                                     seed=23)):
+        kind = ("strq", "tpq")[i % 2]
+        specs.append(QuerySpec(kind=kind, x=x, y=y, t=t,
+                               length=8 if kind == "tpq" else 0))
+    return specs
+
+
+def _assert_identical(want, got):
+    assert len(want) == len(got)
+    for a, b in zip(want, got):
+        assert type(a) is type(b)
+        if hasattr(a, "paths"):
+            assert set(a.paths) == set(b.paths)
+            for tid in a.paths:
+                assert np.array_equal(a.paths[tid], b.paths[tid])
+        else:
+            assert a.candidates == b.candidates
+
+
+def test_parallel_scaling_meets_speedup_floor(saved_system, workload):
+    """jobs=N workers: identical answers, >= the configured speedup floor."""
+    system, path = saved_system
+    engine = system.engine
+
+    engine.run_batch(workload)  # warm lazy decode tables + caches
+    start = time.perf_counter()
+    sequential_results = engine.run_batch(workload)
+    sequential_s = time.perf_counter() - start
+
+    with ParallelExecutor(path, jobs=JOBS) as pool:
+        pool.warm()
+        pool.run(workload)  # warm the workers' own decode tables + caches
+        start = time.perf_counter()
+        parallel_results = pool.run(workload)
+        parallel_s = time.perf_counter() - start
+
+    _assert_identical(sequential_results, parallel_results)
+
+    speedup = sequential_s / parallel_s
+    print_table(
+        f"Parallel serving throughput ({NUM_QUERIES} queries)",
+        ["mode", "time (ms)", "queries/s"],
+        [
+            ["in-process (jobs=1)", sequential_s * 1000,
+             NUM_QUERIES / sequential_s],
+            [f"{JOBS} workers", parallel_s * 1000, NUM_QUERIES / parallel_s],
+            ["speedup", speedup, ""],
+        ],
+    )
+    if _usable_cpus() < JOBS:
+        pytest.skip(f"only {_usable_cpus()} usable CPU(s) for {JOBS} workers; "
+                    "answers verified identical, speedup not assertable")
+    assert speedup >= MIN_SPEEDUP, (
+        f"{JOBS} workers only {speedup:.2f}x faster than in-process serving "
+        f"(floor is {MIN_SPEEDUP}x)"
+    )

@@ -36,22 +36,28 @@ class ReconstructionCache:
     ----------
     capacity:
         Maximum number of slices kept; the least recently used slice is
-        evicted first.
+        evicted first.  A capacity of zero (negative values are clamped to
+        zero) disables the cache: lookups miss, stores are dropped, nothing
+        is retained -- callers need no special casing and memory stays flat.
     hits, misses, evictions:
         Counters exposed for tests and benchmark reporting.  The summary's
         accessors count at point granularity (a hit means one reconstruction
         was served from cache), so reported hit rates reflect actual work
-        saved.
+        saved.  Counters survive :meth:`clear` (and disablement), so
+        ``hits + misses`` always equals the number of recorded lookups.
     """
 
     def __init__(self, capacity: int = 256) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self.capacity = int(capacity)
+        self.capacity = max(0, int(capacity))
         self._entries: OrderedDict[tuple[int, bool], dict[int, np.ndarray | None]] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    @property
+    def disabled(self) -> bool:
+        """True when the capacity is zero (every lookup misses)."""
+        return self.capacity == 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -77,7 +83,13 @@ class ReconstructionCache:
         return entry
 
     def put(self, key: tuple[int, bool], value: dict[int, np.ndarray | None]) -> None:
-        """Store a slice, evicting the least recently used one when full."""
+        """Store a slice, evicting the least recently used one when full.
+
+        A disabled cache (capacity 0) drops the value without storing it --
+        and without counting an eviction, since nothing cached was displaced.
+        """
+        if self.capacity == 0:
+            return
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -174,6 +186,10 @@ class TrajectorySummary:
         The coordinate-quadtree coder used to decode CQC codes (``None`` when
         CQC is disabled).  Only the fixed template parameters of the coder
         matter for storage, not per-point state.
+    slice_cache_capacity:
+        Bound of the LRU slice cache shared by the batched query path;
+        ``0`` (or any negative value) disables caching entirely -- results
+        are unchanged, every lookup just recomputes.
     """
 
     def __init__(self, config: PPQConfig, cqc_config: CQCConfig,

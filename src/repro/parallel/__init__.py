@@ -1,0 +1,28 @@
+"""Parallel batch serving across worker processes.
+
+The batched query engine (:mod:`repro.queries.batch`) amortises index scans
+and reconstructions within one process; this package scales a workload
+*across* processes.  :class:`ParallelExecutor` shards a workload into
+contiguous chunks, serves them on a process pool whose workers each load the
+model artifact once (no live index/summary is pickled), merges the per-chunk
+results back into workload order, and retries or isolates failed chunks
+through the reliability layer's :class:`~repro.reliability.retry.RetryPolicy`.
+
+Entry points, highest level first:
+
+* ``PPQTrajectory.run_batch(workload, jobs=N)`` -- spills a temporary
+  artifact when the system was fitted in-memory;
+* ``QueryEngine.run_batch(workload, jobs=N, model_path=...)`` -- for engines
+  restored from (or pointed at) an artifact;
+* :class:`ParallelExecutor` -- explicit pool lifecycle control (reuse across
+  workloads, warm-up, chunk sizing, chaos fault plans);
+* ``repro query --workload file.json --jobs N`` on the command line.
+"""
+
+from repro.parallel.executor import ExecutorStats, ParallelExecutor, default_jobs
+
+__all__ = [
+    "ExecutorStats",
+    "ParallelExecutor",
+    "default_jobs",
+]

@@ -1,0 +1,319 @@
+"""Multiprocess batch serving: shard a workload across worker processes.
+
+One Python process cannot saturate a multi-core box: the batched query path
+is vectorised but still spends its time in the interpreter (reconstruction
+walks, candidate post-processing) under the GIL.  :class:`ParallelExecutor`
+scales it out the way F2 scales FASTER's request handling across threads --
+by sharding the *workload*, not the data:
+
+* the workload is split into contiguous chunks (``chunks_per_job`` per
+  worker by default, so a slow chunk cannot stall the whole run);
+* a :class:`concurrent.futures.ProcessPoolExecutor` serves the chunks; each
+  worker loads the model artifact **once** in its initializer
+  (:func:`repro.parallel.worker._init_worker`) -- no live index or summary
+  is ever pickled across the pool;
+* per-chunk results are merged back into original workload order, rebasing
+  the ``index`` of any :class:`~repro.reliability.degrade.QueryError`;
+* a failed chunk (a crashed worker breaks the whole pool) is retried on a
+  fresh pool under the executor's
+  :class:`~repro.reliability.retry.RetryPolicy`; when retries are exhausted
+  and ``isolate=True``, the chunk's queries are re-run one by one so a
+  single poisoned query fails alone instead of taking its chunk with it.
+
+Results are bit-identical to the in-process ``run_batch`` because every
+worker serves the same artifact and artifact loads reproduce the saved
+system's answers exactly (the storage layer's round-trip guarantee).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.queries.batch import QuerySpec, Workload
+from repro.reliability.degrade import QueryError
+from repro.reliability.retry import RetryPolicy, is_transient_error
+
+
+@dataclass
+class ExecutorStats:
+    """Counters describing one executor's lifetime (for reports and tests)."""
+
+    chunks_submitted: int = 0
+    chunks_retried: int = 0
+    chunks_isolated: int = 0
+    pools_built: int = 0
+    queries_served: int = 0
+    failed_queries: int = 0
+    retried_chunk_ids: list = field(default_factory=list)
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the CPUs this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class ParallelExecutor:
+    """Serve batch workloads from a pool of artifact-loaded worker processes.
+
+    Parameters
+    ----------
+    model_path:
+        A model artifact written by :func:`repro.storage.save_model` /
+        :meth:`PPQTrajectory.save`.  Each worker loads it once at startup;
+        the path (not the model) is what crosses the process boundary.
+    jobs:
+        Number of worker processes (``>= 1``).
+    chunk_size:
+        Queries per chunk.  Default: the workload is split into
+        ``chunks_per_job * jobs`` contiguous chunks for load balancing.
+    chunks_per_job:
+        Chunk-count multiplier used when ``chunk_size`` is not given.
+    strict:
+        Forwarded to the workers' :func:`~repro.storage.load_model` calls.
+    retry_policy:
+        Chunk-level retry policy; a failed chunk is re-run (on a fresh pool
+        when the previous one broke).  Defaults to two retries with a short
+        backoff.  Chunk failures are always considered retryable -- a broken
+        pool gives no usable cause chain to classify.
+    fault_plan:
+        Optional :class:`~repro.reliability.faults.FaultPlan` armed inside
+        every worker for chaos testing.
+    mp_context:
+        ``multiprocessing`` start-method name (default ``"spawn"``: workers
+        import and load from a clean slate, which is what a fleet of serving
+        processes on separate machines would do, and the only start method
+        that behaves identically on every platform).
+
+    Examples
+    --------
+    ::
+
+        with ParallelExecutor("model.ppq", jobs=4) as pool:
+            results = pool.run(workload)         # workload order preserved
+    """
+
+    def __init__(self, model_path, jobs: int = 2, chunk_size: int | None = None,
+                 chunks_per_job: int = 4, strict: bool = True,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_plan=None, mp_context: str = "spawn") -> None:
+        self.model_path = Path(model_path)
+        if not self.model_path.is_file():
+            raise FileNotFoundError(f"model artifact not found: {self.model_path}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if chunks_per_job < 1:
+            raise ValueError(f"chunks_per_job must be >= 1, got {chunks_per_job}")
+        self.jobs = int(jobs)
+        self.chunk_size = chunk_size
+        self.chunks_per_job = int(chunks_per_job)
+        self.strict = bool(strict)
+        self.retry_policy = retry_policy or RetryPolicy(max_retries=2, backoff=0.05)
+        self.fault_plan = fault_plan
+        self.mp_context = mp_context
+        self.stats = ExecutorStats()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The current worker pool, building one on first use."""
+        if self._pool is None:
+            from repro.parallel.worker import _init_worker
+
+            context = multiprocessing.get_context(self.mp_context)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context,
+                initializer=_init_worker,
+                initargs=(str(self.model_path), self.strict, self.fault_plan),
+            )
+            self.stats.pools_built += 1
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear down a (possibly broken) pool; the next run builds a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def warm(self) -> "ParallelExecutor":
+        """Start the workers and wait for their artifact loads to finish.
+
+        Benchmarks call this so that measured throughput reflects
+        steady-state serving, not pool startup (a long-running service pays
+        the worker initialisation once).
+        """
+        from repro.parallel.worker import _run_chunk
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_chunk, i, (), True) for i in range(self.jobs)]
+        for future in futures:
+            future.result()
+        return self
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, workload, isolate: bool = False) -> list:
+        """Answer a workload across the pool, in original query order.
+
+        Parameters
+        ----------
+        workload:
+            A :class:`~repro.queries.batch.Workload` or iterable of
+            :class:`~repro.queries.batch.QuerySpec` / workload-file dicts.
+        isolate:
+            Forwarded to each worker's ``run_batch`` and applied to chunk
+            failures: with ``isolate=True`` an unrecoverable chunk is
+            re-run query by query and only the failing queries come back as
+            :class:`~repro.reliability.degrade.QueryError` records (their
+            ``index`` is the workload position).  With ``isolate=False``
+            the first unrecoverable chunk error propagates.
+        """
+        specs = _normalize(workload)
+        if not specs:
+            return []
+        chunks = self._chunks(specs)
+        results: list = [None] * len(specs)
+        self.stats.queries_served += len(specs)
+
+        failed: list[tuple[int, int, list[QuerySpec]]] = []
+        futures = {}
+        pool = self._ensure_pool()
+        try:
+            from repro.parallel.worker import _run_chunk
+
+            for chunk_id, (start, chunk_specs) in enumerate(chunks):
+                self.stats.chunks_submitted += 1
+                futures[pool.submit(_run_chunk, chunk_id, chunk_specs, isolate)] = \
+                    (chunk_id, start, chunk_specs)
+            for future, (chunk_id, start, chunk_specs) in futures.items():
+                try:
+                    _cid, answers = future.result()
+                except Exception:  # noqa: BLE001 - retried below, chunk by chunk
+                    failed.append((chunk_id, start, chunk_specs))
+                else:
+                    self._merge(results, start, answers)
+        except BaseException:
+            self._discard_pool()
+            raise
+        if any(isinstance(f.exception(), BrokenProcessPool) for f in futures):
+            self._discard_pool()
+
+        for chunk_id, start, chunk_specs in failed:
+            self._retry_chunk(chunk_id, start, chunk_specs, isolate, results)
+        return results
+
+    def _retry_chunk(self, chunk_id: int, start: int, specs, isolate: bool,
+                     results: list) -> None:
+        """Re-run one failed chunk under the retry policy, isolating at the end."""
+        self.stats.chunks_retried += 1
+        self.stats.retried_chunk_ids.append(chunk_id)
+        try:
+            answers = self.retry_policy.call(
+                lambda: self._run_chunk_fresh(chunk_id, specs, isolate),
+                retryable=self._chunk_retryable,
+            )
+        except Exception as exc:  # noqa: BLE001 - isolation decides propagation
+            if not isolate:
+                raise
+            self.stats.chunks_isolated += 1
+            self._isolate_chunk(start, specs, results, exc)
+        else:
+            self._merge(results, start, answers)
+
+    def _run_chunk_fresh(self, chunk_id: int, specs, isolate: bool):
+        """One synchronous chunk attempt, replacing the pool if it broke."""
+        from repro.parallel.worker import _run_chunk
+
+        try:
+            _cid, answers = self._ensure_pool().submit(
+                _run_chunk, chunk_id, specs, isolate
+            ).result()
+            return answers
+        except BrokenProcessPool:
+            self._discard_pool()
+            raise
+
+    @staticmethod
+    def _chunk_retryable(error: BaseException) -> bool:
+        """Chunk-level retry classification: crashes and transients retry."""
+        return isinstance(error, BrokenProcessPool) or is_transient_error(error)
+
+    def _isolate_chunk(self, start: int, specs, results: list,
+                       chunk_error: BaseException) -> None:
+        """Last resort: run the chunk query by query so one poison fails alone."""
+        from repro.parallel.worker import _run_chunk
+
+        for offset, spec in enumerate(specs):
+            position = start + offset
+            try:
+                _cid, answers = self._ensure_pool().submit(
+                    _run_chunk, -1, (spec,), True
+                ).result()
+            except BrokenProcessPool as exc:
+                self._discard_pool()
+                self.stats.failed_queries += 1
+                results[position] = QueryError.from_exception(position, spec.kind, exc)
+            except Exception as exc:  # noqa: BLE001 - converted to a record
+                self.stats.failed_queries += 1
+                results[position] = QueryError.from_exception(position, spec.kind, exc)
+            else:
+                self._merge(results, position, answers)
+
+    # ------------------------------------------------------------------ #
+    # chunking and merging
+    # ------------------------------------------------------------------ #
+    def _chunks(self, specs: list[QuerySpec]) -> list[tuple[int, list[QuerySpec]]]:
+        """Split the workload into contiguous ``(start, specs)`` chunks."""
+        n = len(specs)
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            size = max(1, -(-n // (self.jobs * self.chunks_per_job)))
+        return [(start, specs[start:start + size]) for start in range(0, n, size)]
+
+    def _merge(self, results: list, start: int, answers: list) -> None:
+        """Copy chunk answers into workload order, rebasing error indices."""
+        for offset, answer in enumerate(answers):
+            if isinstance(answer, QueryError):
+                self.stats.failed_queries += 1
+                answer = replace(answer, index=start + offset)
+            results[start + offset] = answer
+
+
+def _normalize(workload) -> list[QuerySpec]:
+    """Coerce any accepted workload shape into a list of specs."""
+    if isinstance(workload, Workload):
+        return list(workload.queries)
+    specs = []
+    for entry in workload:
+        if isinstance(entry, QuerySpec):
+            specs.append(entry)
+        elif isinstance(entry, dict):
+            specs.append(QuerySpec.from_dict(entry))
+        else:
+            raise TypeError(f"unsupported workload entry: {entry!r}")
+    return specs

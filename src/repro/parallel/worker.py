@@ -1,0 +1,92 @@
+"""Worker-process side of the parallel serving layer.
+
+Each pool worker is initialised exactly once with the *path* of a model
+artifact: :func:`_init_worker` loads it through
+:func:`repro.storage.load_model` into a module-level global, so the live
+summary/index objects are never pickled across the process boundary -- the
+artifact file is the only thing that crosses it, and the loaded engine is
+reused for every chunk the worker serves (the per-worker memory model
+documented in ``docs/ARCHITECTURE.md``).
+
+The functions here must stay top-level (picklable by reference) and import
+the heavy model machinery lazily so that spawning a worker only pays for
+what it uses.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: The worker's loaded :class:`~repro.core.pipeline.PPQTrajectory`, set once
+#: by :func:`_init_worker` and reused for every chunk.
+_SYSTEM = None
+
+#: Environment hooks for crash testing (see ``tests/test_parallel.py``):
+#: when ``REPRO_PARALLEL_CRASH_T`` names a timestamp, a worker asked to serve
+#: a query at that timestamp hard-exits (simulating an OOM kill / segfault).
+#: If ``REPRO_PARALLEL_CRASH_ONCE`` names a file path, the crash happens only
+#: while that file does not exist (the dying worker creates it), modelling a
+#: one-off crash that a chunk retry survives.
+_CRASH_T_ENV = "REPRO_PARALLEL_CRASH_T"
+_CRASH_ONCE_ENV = "REPRO_PARALLEL_CRASH_ONCE"
+
+
+def _init_worker(model_path: str, strict: bool = True, fault_plan=None) -> None:
+    """Pool initializer: load the model artifact once for this process.
+
+    Parameters
+    ----------
+    model_path:
+        Artifact file written by :func:`repro.storage.save_model`.
+    strict:
+        Forwarded to :func:`repro.storage.load_model` (``False`` salvages
+        damaged sections exactly as in the parent).
+    fault_plan:
+        Optional :class:`~repro.reliability.faults.FaultPlan` armed for the
+        worker's whole lifetime -- chaos tests inject faults *inside* the
+        workers this way, since a plan armed in the parent does not cross
+        the process boundary.
+    """
+    global _SYSTEM
+    from repro.storage.io import load_model
+
+    _SYSTEM = load_model(model_path, strict=strict)
+    # Armed only after the artifact is loaded: chaos targets serving, not
+    # model loading, matching the ``repro chaos`` contract (faults injected
+    # during section decode would make the load itself the failing subject).
+    if fault_plan is not None:
+        from repro.reliability import faults
+        from repro.reliability.faults import FaultInjector
+
+        faults.ACTIVE = FaultInjector(fault_plan)
+
+
+def _maybe_crash(specs) -> None:
+    """Test-only crash hook: hard-exit when a poisoned timestamp is served."""
+    crash_t = os.environ.get(_CRASH_T_ENV)
+    if crash_t is None:
+        return
+    if not any(int(spec.t) == int(crash_t) for spec in specs):
+        return
+    marker = os.environ.get(_CRASH_ONCE_ENV)
+    if marker is not None:
+        if os.path.exists(marker):
+            return
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+    os._exit(3)
+
+
+def _run_chunk(chunk_id: int, specs, isolate: bool):
+    """Answer one contiguous chunk of the workload on the worker's engine.
+
+    Returns ``(chunk_id, results)`` where ``results`` align one-to-one with
+    ``specs``.  With ``isolate=True`` the engine converts per-query failures
+    into :class:`~repro.reliability.degrade.QueryError` records whose
+    ``index`` is chunk-local -- the executor rebases it to the workload
+    position when merging.
+    """
+    if _SYSTEM is None:  # pragma: no cover - initializer contract violation
+        raise RuntimeError("worker used before _init_worker ran")
+    _maybe_crash(specs)
+    return chunk_id, _SYSTEM.engine.run_batch(list(specs), isolate=isolate)

@@ -16,6 +16,7 @@ from repro.queries.exact import ExactQueryResult, exact_match_query
 from repro.queries.batch import (
     QuerySpec,
     Workload,
+    WorkloadError,
     batch_exact,
     batch_strq,
     batch_tpq,
@@ -32,6 +33,7 @@ __all__ = [
     "exact_match_query",
     "QuerySpec",
     "Workload",
+    "WorkloadError",
     "batch_strq",
     "batch_tpq",
     "batch_exact",

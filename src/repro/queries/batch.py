@@ -39,6 +39,17 @@ from repro.queries.tpq import TPQResult
 QUERY_KINDS = ("strq", "tpq", "exact")
 
 
+class WorkloadError(ValueError):
+    """A workload file or object cannot be parsed into query specs.
+
+    Raised (instead of raw ``KeyError``/``TypeError``/``AttributeError``
+    leaks from malformed JSON) by :meth:`QuerySpec.from_dict`,
+    :meth:`Workload.from_obj` and :meth:`Workload.from_file`, with the
+    offending entry identified in the message.  The CLI maps it to exit
+    code 4 (``EXIT_WORKLOAD``).
+    """
+
+
 @dataclass(frozen=True)
 class QuerySpec:
     """One query of a batch workload.
@@ -67,12 +78,42 @@ class QuerySpec:
 
     @classmethod
     def from_dict(cls, obj: dict) -> "QuerySpec":
-        """Build a spec from a workload-file entry (``type`` aliases ``kind``)."""
+        """Build a spec from a workload-file entry (``type`` aliases ``kind``).
+
+        Raises
+        ------
+        WorkloadError
+            When the entry is not a mapping, names an unknown kind, misses a
+            required field or holds a non-numeric value -- never a raw
+            ``KeyError``/``TypeError``.
+        """
+        if not isinstance(obj, dict):
+            raise WorkloadError(
+                f"query entry must be an object, got {type(obj).__name__}: {obj!r}"
+            )
         kind = obj.get("kind", obj.get("type"))
         if kind is None:
-            raise ValueError(f"query entry needs a 'type' (or 'kind') field: {obj!r}")
-        return cls(kind=str(kind), x=float(obj["x"]), y=float(obj["y"]),
-                   t=int(obj["t"]), length=int(obj.get("length", 0)))
+            raise WorkloadError(f"query entry needs a 'type' (or 'kind') field: {obj!r}")
+        fields = {}
+        for name, convert in (("x", float), ("y", float), ("t", int)):
+            if name not in obj:
+                raise WorkloadError(f"query entry is missing the {name!r} field: {obj!r}")
+            try:
+                fields[name] = convert(obj[name])
+            except (TypeError, ValueError) as exc:
+                raise WorkloadError(
+                    f"query entry has a non-numeric {name!r} field ({obj[name]!r}): {exc}"
+                ) from exc
+        try:
+            length = int(obj.get("length", 0))
+        except (TypeError, ValueError) as exc:
+            raise WorkloadError(
+                f"query entry has a non-integer 'length' field ({obj.get('length')!r})"
+            ) from exc
+        try:
+            return cls(kind=str(kind), length=length, **fields)
+        except ValueError as exc:
+            raise WorkloadError(str(exc)) from exc
 
 
 @dataclass
@@ -104,18 +145,44 @@ class Workload:
 
     @classmethod
     def from_obj(cls, obj) -> "Workload":
-        """Parse a decoded JSON object (bare list or ``{"queries": [...]}``)."""
+        """Parse a decoded JSON object (bare list or ``{"queries": [...]}``).
+
+        An empty list is a valid (empty) workload.  Anything malformed --
+        wrong top-level shape, or a bad entry -- raises
+        :class:`WorkloadError` naming the entry position.
+        """
         if isinstance(obj, dict):
             obj = obj.get("queries")
         if not isinstance(obj, list):
-            raise ValueError("workload must be a list of queries or {'queries': [...]}")
-        return cls(queries=[QuerySpec.from_dict(entry) for entry in obj])
+            raise WorkloadError(
+                "workload must be a list of queries or {'queries': [...]}, "
+                f"got {type(obj).__name__}"
+            )
+        queries = []
+        for position, entry in enumerate(obj):
+            try:
+                queries.append(QuerySpec.from_dict(entry))
+            except WorkloadError as exc:
+                raise WorkloadError(f"query #{position}: {exc}") from exc
+        return cls(queries=queries)
 
     @classmethod
     def from_file(cls, path: str | Path) -> "Workload":
-        """Load a workload from a JSON file."""
+        """Load a workload from a JSON file.
+
+        Raises
+        ------
+        OSError
+            When the file cannot be read.
+        WorkloadError
+            When the file is not valid JSON or not a valid workload.
+        """
         with open(path, encoding="utf-8") as handle:
-            return cls.from_obj(json.load(handle))
+            try:
+                obj = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(f"workload file is not valid JSON: {exc}") from exc
+        return cls.from_obj(obj)
 
 
 def load_workload(path: str | Path) -> Workload:

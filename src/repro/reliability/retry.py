@@ -96,7 +96,8 @@ class RetryPolicy:
         """Sleep duration before retry number ``retry_index`` (0-based)."""
         return min(self.backoff * (self.multiplier ** retry_index), self.max_backoff)
 
-    def call(self, fn: Callable[[], object], retryable: Callable[[BaseException], bool] | None = None,
+    def call(self, fn: Callable[[], object],
+             retryable: Callable[[BaseException], bool] | None = None,
              sleep: Callable[[float], None] = time.sleep,
              clock: Callable[[], float] = time.monotonic):
         """Invoke ``fn`` with retries; return its result.

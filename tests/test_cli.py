@@ -165,6 +165,64 @@ class TestExitCodes:
                      "--workload", str(workload)]) == 0
         assert "workload" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("payload", [
+        ["strq"],                                       # entry is a string
+        [{"x": 0, "y": 0, "t": 0}],                     # missing kind
+        [{"type": "strq", "y": 0, "t": 0}],             # missing coordinate
+        [{"type": "strq", "x": "a", "y": 0, "t": 0}],   # non-numeric field
+        [{"type": "tpq", "x": 0, "y": 0, "t": 0}],      # tpq without length
+        {"queries": "strq"},                            # queries not a list
+        "just a string",
+    ])
+    def test_malformed_workloads_exit_code_four(self, saved_model, tmp_path,
+                                                capsys, payload):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["query", "--model", str(saved_model),
+                     "--workload", str(bad)]) == EXIT_WORKLOAD
+        assert "invalid workload" in capsys.readouterr().err
+
+    def test_unparseable_json_workload_exit_code_four(self, saved_model,
+                                                      tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json at all")
+        assert main(["query", "--model", str(saved_model),
+                     "--workload", str(bad)]) == EXIT_WORKLOAD
+        assert "invalid workload" in capsys.readouterr().err
+
+    def test_empty_workload_exits_zero(self, saved_model, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"queries": []}))
+        assert main(["query", "--model", str(saved_model),
+                     "--workload", str(empty)]) == 0
+        assert "0 queries" in capsys.readouterr().out
+
+
+class TestParallelQuery:
+    def test_jobs_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--synthetic", "porto",
+                                       "--x", "0", "--y", "0", "--t", "0",
+                                       "--jobs", "2"])
+
+    def test_jobs_must_be_positive(self, tmp_path):
+        workload = tmp_path / "w.json"
+        workload.write_text(json.dumps([{"type": "strq", "x": 0, "y": 0, "t": 0}]))
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--synthetic", "porto",
+                                       "--workload", str(workload),
+                                       "--jobs", "0"])
+
+    def test_parallel_workload_runs(self, saved_model, tmp_path, capsys):
+        workload = tmp_path / "par.json"
+        workload.write_text(json.dumps(
+            [{"type": ("strq", "tpq")[i % 2], "x": 0, "y": 0, "t": i % 5,
+              "length": 4} for i in range(8)]))
+        assert main(["query", "--model", str(saved_model),
+                     "--workload", str(workload), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out and "2 worker processes" in out
+
 
 class TestChaos:
     def test_chaos_requires_a_source(self):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.config import IndexConfig
 from repro.data.trajectory import Trajectory, TrajectoryDataset
-from repro.index.tpi import TemporalPartitionIndex
+from repro.index.tpi import TemporalPartitionIndex, TimePeriod
 
 
 def drifting_dataset(num_traj=20, length=30, drift_at=15, seed=0):
@@ -131,3 +131,89 @@ class TestStatistics:
         assert tpi.stats.build_seconds > 0.0
         assert tpi.stats.index_bits == tpi.storage_bits()
         assert tpi.storage_megabytes() == pytest.approx(tpi.storage_bits() / 8.0 / (1 << 20))
+
+
+class TestBatchScalarBoundaryEquivalence:
+    """Property tests: the vectorised ``period_indices_for`` / ``lookup_batch``
+    path must agree with the scalar ``period_for`` / ``lookup`` path at every
+    period boundary (the ``searchsorted(..., side="right") - 1`` edge cases).
+    """
+
+    def _index_of(self, tpi, period):
+        return -1 if period is None else tpi.periods.index(period)
+
+    def _boundary_ts(self, periods):
+        """Every period start/end plus its off-by-one neighbours."""
+        ts = set()
+        for period in periods:
+            ts.update((period.start - 1, period.start, period.start + 1,
+                       period.end - 1, period.end, period.end + 1))
+        ts.update((min(p.start for p in periods) - 10,
+                   max(p.end for p in periods) + 10))
+        return sorted(ts)
+
+    def test_built_index_boundaries_agree(self):
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005,
+                                                 epsilon_c=0.5, epsilon_d=0.5))
+        tpi.build(drifting_dataset())
+        assert tpi.num_periods >= 2, "need several periods; test is vacuous"
+        ts = self._boundary_ts(tpi.periods)
+        vectorised = tpi.period_indices_for(np.asarray(ts))
+        for t, got in zip(ts, vectorised):
+            assert got == self._index_of(tpi, tpi.period_for(t)), f"t={t}"
+
+    def test_fabricated_gapped_periods_agree(self):
+        """Gaps between periods must map to -1, exactly like the scalar path.
+
+        The build path tiles periods contiguously, but nothing in the lookup
+        contract requires it -- the vectorised path has to handle gaps too.
+        """
+        tpi = TemporalPartitionIndex(IndexConfig())
+        tpi.periods = [TimePeriod(0, 4, None), TimePeriod(10, 14, None),
+                       TimePeriod(15, 15, None), TimePeriod(20, 29, None)]
+        ts = self._boundary_ts(tpi.periods)
+        vectorised = tpi.period_indices_for(np.asarray(ts))
+        for t, got in zip(ts, vectorised):
+            assert got == self._index_of(tpi, tpi.period_for(t)), f"t={t}"
+
+    def test_randomized_period_layouts_agree(self):
+        rng = np.random.default_rng(2024)
+        for _ in range(25):
+            periods, t = [], 0
+            for _ in range(int(rng.integers(1, 9))):
+                t += int(rng.integers(0, 4))          # occasional gap
+                end = t + int(rng.integers(0, 6))     # single-point periods too
+                periods.append(TimePeriod(t, end, None))
+                t = end + 1
+            tpi = TemporalPartitionIndex(IndexConfig())
+            tpi.periods = periods
+            span = np.arange(periods[0].start - 3, periods[-1].end + 4)
+            vectorised = tpi.period_indices_for(span)
+            for ts, got in zip(span, vectorised):
+                assert got == self._index_of(tpi, tpi.period_for(int(ts))), \
+                    f"t={ts} layout={[(p.start, p.end) for p in periods]}"
+
+    def test_empty_index_and_empty_batch(self):
+        tpi = TemporalPartitionIndex(IndexConfig())
+        assert tpi.period_indices_for(np.asarray([0, 5])).tolist() == [-1, -1]
+        tpi.periods = [TimePeriod(0, 9, None)]
+        assert tpi.period_indices_for(np.asarray([], dtype=np.int64)).tolist() == []
+
+    def test_lookup_batch_agrees_at_boundaries(self):
+        dataset = drifting_dataset()
+        tpi = TemporalPartitionIndex(IndexConfig(epsilon_s=1.0, grid_cell=0.005,
+                                                 epsilon_c=0.5, epsilon_d=0.5))
+        tpi.build(dataset)
+        assert tpi.num_periods >= 2
+        boundary_ts = self._boundary_ts(tpi.periods)
+        traj = dataset.get(0)
+        probes = [(float(traj.points[min(max(t, 0), len(traj) - 1), 0]),
+                   float(traj.points[min(max(t, 0), len(traj) - 1), 1]), t)
+                  for t in boundary_ts]
+        xs, ys, ts = (np.asarray(v) for v in zip(*probes))
+        batched = tpi.lookup_batch(xs, ys, ts)
+        hits = 0
+        for (x, y, t), got in zip(probes, batched):
+            assert got == tpi.lookup(x, y, t), f"t={t}"
+            hits += bool(got)
+        assert hits, "no probe hit the index; comparison is vacuous"

@@ -1,0 +1,371 @@
+"""Tests for the multiprocess batch-serving layer (:mod:`repro.parallel`).
+
+The acceptance criteria:
+
+* ``jobs=N`` answers a mixed STRQ/TPQ/exact workload **bit-identically** to
+  the in-process ``jobs=1`` path, in original workload order, for any
+  chunking;
+* a crashed worker (simulated with the ``REPRO_PARALLEL_CRASH_*`` env hooks
+  in :mod:`repro.parallel.worker`) is survived by a chunk retry on a fresh
+  pool, and with ``isolate=True`` a query that *always* crashes its worker
+  fails alone as a :class:`QueryError` while every other query still gets
+  its real answer;
+* results stay deterministic when a seeded :class:`FaultPlan` is armed
+  inside every worker (``CHAOS_SEED`` parameterises the plan, mirroring
+  ``tests/test_reliability.py``).
+
+Worker pools use the ``spawn`` start method, so every pool build pays a
+worker import + artifact load; the fixtures keep the dataset small and share
+one warmed pool across the parity tests to keep the module fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import PPQTrajectory
+from repro.parallel import ExecutorStats, ParallelExecutor, default_jobs
+from repro.parallel.worker import _CRASH_ONCE_ENV, _CRASH_T_ENV
+from repro.queries.batch import QuerySpec, Workload
+from repro.queries.exact import ExactQueryResult
+from repro.queries.strq import STRQResult
+from repro.queries.tpq import TPQResult
+from repro.reliability.degrade import QueryError
+from repro.reliability.faults import FaultPlan
+from repro.reliability.retry import RetryPolicy
+from repro.storage import inspect_model, load_model
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1337"))
+
+
+# ---------------------------------------------------------------------- #
+# fixtures
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.data.synthetic import generate_porto_like
+
+    return generate_porto_like(num_trajectories=12, max_length=30, seed=7)
+
+
+@pytest.fixture(scope="module")
+def saved(dataset, tmp_path_factory):
+    """One fitted + saved system shared by the whole module."""
+    system = PPQTrajectory.ppq_s().fit(dataset)
+    path = tmp_path_factory.mktemp("parallel") / "model.ppq"
+    system.save(path)
+    return system, path
+
+
+def _probes(dataset, n, seed):
+    rng = np.random.default_rng(seed)
+    ids = dataset.trajectory_ids
+    probes = []
+    while len(probes) < n:
+        traj = dataset.get(int(rng.choice(ids)))
+        row = int(rng.integers(0, len(traj)))
+        probes.append((float(traj.points[row, 0]), float(traj.points[row, 1]),
+                       int(traj.timestamps[row])))
+    return probes
+
+
+def _mixed_workload(dataset, n=18, seed=3):
+    specs = []
+    for i, (x, y, t) in enumerate(_probes(dataset, n, seed)):
+        kind = ("strq", "tpq", "exact")[i % 3]
+        spec = {"type": kind, "x": x, "y": y, "t": t}
+        if kind == "tpq":
+            spec["length"] = 5
+        specs.append(spec)
+    return Workload.from_obj(specs)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return _mixed_workload(dataset)
+
+
+@pytest.fixture(scope="module")
+def baseline(saved, workload):
+    """In-process (jobs=1) answers -- the ground truth for every parity test."""
+    system, _ = saved
+    return system.engine.run_batch(workload, isolate=True)
+
+
+@pytest.fixture(scope="module")
+def pool2(saved):
+    """A warmed two-worker pool reused by the parity tests."""
+    _, path = saved
+    with ParallelExecutor(path, jobs=2) as pool:
+        pool.warm()
+        yield pool
+
+
+def assert_result_equal(want, got):
+    """Bit-identical comparison across every result type."""
+    assert type(want) is type(got)
+    if isinstance(want, STRQResult):
+        assert want.candidates == got.candidates
+        assert set(want.reconstructed) == set(got.reconstructed)
+        for tid in want.reconstructed:
+            assert np.array_equal(want.reconstructed[tid], got.reconstructed[tid])
+    elif isinstance(want, TPQResult):
+        assert set(want.paths) == set(got.paths)
+        for tid in want.paths:
+            assert np.array_equal(want.paths[tid], got.paths[tid])
+    elif isinstance(want, ExactQueryResult):
+        assert want.candidates == got.candidates
+        assert want.matches == got.matches
+        assert want.visited_ratio == got.visited_ratio
+    elif isinstance(want, QueryError):
+        assert (want.index, want.kind) == (got.index, got.kind)
+    else:  # pragma: no cover - future result types must be added above
+        raise AssertionError(f"unhandled result type: {type(want)}")
+
+
+def assert_results_equal(want, got):
+    assert len(want) == len(got)
+    for a, b in zip(want, got):
+        assert_result_equal(a, b)
+
+
+# ---------------------------------------------------------------------- #
+# parity: jobs=N is bit-identical to jobs=1
+# ---------------------------------------------------------------------- #
+class TestParity:
+    def test_two_workers_bit_identical(self, pool2, workload, baseline):
+        assert_results_equal(baseline, pool2.run(workload, isolate=True))
+
+    def test_order_preserved_across_chunks(self, pool2, workload):
+        """Result kinds line up with the specs even though chunks race."""
+        results = pool2.run(workload)
+        kind_of = {"strq": STRQResult, "tpq": TPQResult, "exact": ExactQueryResult}
+        for spec, result in zip(workload.queries, results):
+            assert isinstance(result, kind_of[spec.kind])
+
+    def test_accepts_specs_and_dicts(self, pool2, workload, baseline):
+        """run() takes a Workload, a list of QuerySpec, or raw dict entries."""
+        as_specs = list(workload.queries)
+        as_dicts = [{"type": s.kind, "x": s.x, "y": s.y, "t": s.t,
+                     **({"length": s.length} if s.kind == "tpq" else {})}
+                    for s in workload.queries]
+        assert_results_equal(baseline, pool2.run(as_specs, isolate=True))
+        assert_results_equal(baseline, pool2.run(as_dicts, isolate=True))
+
+    def test_empty_workload(self, pool2):
+        assert pool2.run(Workload.from_obj([])) == []
+        assert pool2.run([]) == []
+
+    def test_pool_reused_across_runs(self, saved, workload, baseline):
+        _, path = saved
+        with ParallelExecutor(path, jobs=1) as pool:
+            assert_results_equal(baseline, pool.run(workload, isolate=True))
+            assert_results_equal(baseline, pool.run(workload, isolate=True))
+            assert pool.stats.pools_built == 1
+            assert pool.stats.chunks_retried == 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 5, 10_000])
+    def test_any_chunking_bit_identical(self, saved, workload, baseline, chunk_size):
+        _, path = saved
+        with ParallelExecutor(path, jobs=1, chunk_size=chunk_size) as pool:
+            results = pool.run(workload, isolate=True)
+            expected_chunks = -(-len(workload) // chunk_size)
+            assert pool.stats.chunks_submitted == expected_chunks
+        assert_results_equal(baseline, results)
+
+
+# ---------------------------------------------------------------------- #
+# construction and validation
+# ---------------------------------------------------------------------- #
+class TestConstruction:
+    def test_missing_artifact_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ParallelExecutor(tmp_path / "nope.ppq", jobs=2)
+
+    def test_bad_parameters_rejected(self, saved):
+        _, path = saved
+        with pytest.raises(ValueError, match="jobs"):
+            ParallelExecutor(path, jobs=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelExecutor(path, jobs=1, chunk_size=0)
+        with pytest.raises(ValueError, match="chunks_per_job"):
+            ParallelExecutor(path, jobs=1, chunks_per_job=0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_stats_start_empty(self, saved):
+        _, path = saved
+        pool = ParallelExecutor(path, jobs=2)
+        assert pool.stats == ExecutorStats()
+        pool.close()  # never started; close must still be a no-op
+
+    def test_chunks_cover_workload_contiguously(self, saved):
+        _, path = saved
+        pool = ParallelExecutor(path, jobs=2, chunks_per_job=3)
+        specs = [QuerySpec(kind="strq", x=0.0, y=0.0, t=i) for i in range(25)]
+        chunks = pool._chunks(specs)
+        flat = [spec for _, chunk in chunks for spec in chunk]
+        assert flat == specs
+        starts = [start for start, _ in chunks]
+        assert starts == sorted(starts)
+        pool.close()
+
+
+# ---------------------------------------------------------------------- #
+# engine / pipeline surfaces
+# ---------------------------------------------------------------------- #
+class TestRunBatchSurface:
+    def test_engine_jobs_matches_inprocess(self, saved, workload, baseline):
+        system, path = saved
+        got = system.engine.run_batch(workload, isolate=True, jobs=2)
+        assert_results_equal(baseline, got)
+
+    def test_engine_jobs_validation(self, saved, workload):
+        system, _ = saved
+        with pytest.raises(ValueError, match="jobs"):
+            system.engine.run_batch(workload, jobs=0)
+
+    def test_engine_without_source_path_refuses(self, saved, workload, monkeypatch):
+        system, _ = saved
+        monkeypatch.setattr(system.engine, "source_path", None)
+        with pytest.raises(ValueError, match="artifact"):
+            system.engine.run_batch(workload, jobs=2)
+
+    def test_explicit_model_path_overrides(self, saved, workload, baseline, monkeypatch):
+        system, path = saved
+        monkeypatch.setattr(system.engine, "source_path", None)
+        got = system.engine.run_batch(workload, isolate=True, jobs=2,
+                                      model_path=path)
+        assert_results_equal(baseline, got)
+
+    def test_save_and_load_record_source_path(self, saved):
+        system, path = saved
+        assert system.engine.source_path == str(path)
+        assert load_model(path).engine.source_path == str(path)
+
+    def test_salvaged_load_records_no_source_path(self, saved, tmp_path, workload):
+        """A salvaged artifact must not be handed to workers behind our back."""
+        _, path = saved
+        blob = bytearray(path.read_bytes())
+        section = next(s for s in inspect_model(path).sections
+                       if s.name == "INDEX")
+        blob[section.offset + section.length // 2] ^= 0xFF
+        bad = tmp_path / "damaged.ppq"
+        bad.write_bytes(bytes(blob))
+        loaded = load_model(bad, strict=False)
+        assert not loaded.load_report.clean
+        assert loaded.engine.source_path is None
+        with pytest.raises(ValueError, match="artifact"):
+            loaded.engine.run_batch(workload, jobs=2)
+
+    def test_pipeline_spills_artifact_for_inmemory_system(self, dataset):
+        """A fitted-but-never-saved system transparently spills a temp artifact."""
+        from repro.data.synthetic import generate_porto_like
+
+        small = generate_porto_like(num_trajectories=6, max_length=35, seed=21)
+        system = PPQTrajectory.ppq_s().fit(small)
+        assert system.engine.source_path is None
+        wl = _mixed_workload(small, n=9, seed=4)
+        want = system.run_batch(wl, isolate=True)
+        got = system.run_batch(wl, isolate=True, jobs=2)
+        assert system.engine.source_path is not None
+        assert os.path.exists(system.engine.source_path)
+        assert_results_equal(want, got)
+
+
+# ---------------------------------------------------------------------- #
+# crash recovery
+# ---------------------------------------------------------------------- #
+class TestCrashRecovery:
+    @pytest.fixture()
+    def poisoned(self, dataset, workload):
+        """(workload, poison_position): one query whose timestamp is unique."""
+        counts = {}
+        for spec in workload.queries:
+            counts[spec.t] = counts.get(spec.t, 0) + 1
+        position = next(i for i, spec in enumerate(workload.queries)
+                        if counts[spec.t] == 1)
+        return workload, position
+
+    def test_crash_once_survived_by_chunk_retry(self, saved, baseline, poisoned,
+                                                tmp_path, monkeypatch):
+        _, path = saved
+        workload, position = poisoned
+        marker = tmp_path / "crashed-once"
+        monkeypatch.setenv(_CRASH_T_ENV, str(workload.queries[position].t))
+        monkeypatch.setenv(_CRASH_ONCE_ENV, str(marker))
+        with ParallelExecutor(path, jobs=2, chunk_size=3) as pool:
+            results = pool.run(workload, isolate=True)
+            assert marker.exists(), "crash hook never fired; test is vacuous"
+            assert pool.stats.chunks_retried >= 1
+            assert pool.stats.pools_built >= 2  # the broken pool was replaced
+            assert pool.stats.chunks_isolated == 0
+        assert_results_equal(baseline, results)
+
+    def test_persistent_crash_isolates_poisoned_query(self, saved, baseline,
+                                                      poisoned, monkeypatch):
+        _, path = saved
+        workload, position = poisoned
+        monkeypatch.setenv(_CRASH_T_ENV, str(workload.queries[position].t))
+        with ParallelExecutor(path, jobs=2, chunk_size=3,
+                              retry_policy=RetryPolicy(max_retries=1,
+                                                       backoff=0.01)) as pool:
+            results = pool.run(workload, isolate=True)
+            assert pool.stats.chunks_isolated >= 1
+            assert pool.stats.failed_queries == 1
+        for i, (want, got) in enumerate(zip(baseline, results)):
+            if i == position:
+                assert isinstance(got, QueryError)
+                assert got.index == position
+                assert got.kind == workload.queries[position].kind
+            else:
+                assert_result_equal(want, got)
+
+    def test_persistent_crash_without_isolation_raises(self, saved, poisoned,
+                                                       monkeypatch):
+        _, path = saved
+        workload, position = poisoned
+        monkeypatch.setenv(_CRASH_T_ENV, str(workload.queries[position].t))
+        with ParallelExecutor(path, jobs=2, chunk_size=3,
+                              retry_policy=RetryPolicy(max_retries=1,
+                                                       backoff=0.01)) as pool:
+            with pytest.raises(Exception):
+                pool.run(workload, isolate=False)
+
+
+# ---------------------------------------------------------------------- #
+# determinism under fault injection
+# ---------------------------------------------------------------------- #
+class TestFaultDeterminism:
+    # The decode points with the graceful-degradation guarantee (quarantine +
+    # repair); see tests/test_reliability.py::TestGracefulDegradation.
+    @pytest.mark.parametrize("point", ["index.cell_decode", "huffman.decode",
+                                       "bitio.read"])
+    def test_worker_faults_degrade_to_identical_answers(self, saved, workload,
+                                                        baseline, point):
+        """A seeded plan armed inside every worker must not change answers.
+
+        Graceful degradation (the reliability layer's guarantee) makes each
+        worker's faulted answers equal its clean answers, so the merged
+        results are deterministic no matter which worker serves which chunk.
+        """
+        _, path = saved
+        plan = FaultPlan(seed=CHAOS_SEED).add(point)
+        with ParallelExecutor(path, jobs=2, fault_plan=plan) as pool:
+            faulted = pool.run(workload, isolate=True)
+        assert not any(isinstance(r, QueryError) for r in faulted)
+        assert_results_equal(baseline, faulted)
+
+    def test_two_faulted_runs_identical(self, saved, workload):
+        _, path = saved
+        plan = FaultPlan(seed=CHAOS_SEED).add("index.cell_decode",
+                                              probability=0.5)
+        with ParallelExecutor(path, jobs=2, fault_plan=plan) as pool:
+            first = pool.run(workload, isolate=True)
+        with ParallelExecutor(path, jobs=2, fault_plan=plan) as pool:
+            second = pool.run(workload, isolate=True)
+        assert_results_equal(first, second)

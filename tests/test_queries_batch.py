@@ -17,6 +17,7 @@ from repro.core.summary import ReconstructionCache
 from repro.queries.batch import (
     QuerySpec,
     Workload,
+    WorkloadError,
     batch_exact,
     batch_strq,
     batch_tpq,
@@ -211,6 +212,101 @@ class TestWorkloadSpec:
         assert workload.queries[0] == QuerySpec(kind="exact", x=-8.6, y=41.1, t=12)
 
 
+class TestMalformedWorkloads:
+    """Malformed workload input must raise :class:`WorkloadError` (which the
+    CLI maps to exit code 4), never a raw ``KeyError``/``AttributeError``.
+    """
+
+    @pytest.mark.parametrize("entry", [
+        "strq",                                        # string, not a dict
+        42,                                            # number, not a dict
+        None,                                          # null entry
+        ["strq", 0.0, 0.0, 0],                         # list, not a dict
+        {},                                            # empty dict
+        {"x": 0.0, "y": 0.0, "t": 0},                  # missing kind
+        {"type": "nearest", "x": 0.0, "y": 0.0, "t": 0},   # unknown kind
+        {"type": "strq", "y": 0.0, "t": 0},            # missing x
+        {"type": "strq", "x": "west", "y": 0.0, "t": 0},   # non-numeric x
+        {"type": "strq", "x": 0.0, "y": 0.0},          # missing t
+        {"type": "strq", "x": 0.0, "y": 0.0, "t": "noon"},  # non-numeric t
+        {"type": "tpq", "x": 0.0, "y": 0.0, "t": 0},   # tpq without length
+        {"type": "tpq", "x": 0.0, "y": 0.0, "t": 0, "length": 0},  # length < 1
+        {"type": "tpq", "x": 0.0, "y": 0.0, "t": 0, "length": "long"},
+    ])
+    def test_bad_entry_raises_workload_error(self, entry):
+        with pytest.raises(WorkloadError):
+            QuerySpec.from_dict(entry)
+        # And through the workload parser, with the entry position named.
+        with pytest.raises(WorkloadError, match="query #1"):
+            Workload.from_obj([{"type": "strq", "x": 0.0, "y": 0.0, "t": 0},
+                               entry])
+
+    @pytest.mark.parametrize("obj", ["queries", 7, None, {"queries": "strq"},
+                                     {"queries": 7}, {"wrong_key": []}])
+    def test_non_list_workload_raises_workload_error(self, obj):
+        with pytest.raises(WorkloadError):
+            Workload.from_obj(obj)
+
+    def test_workload_error_is_a_value_error(self):
+        """Existing except ValueError handlers keep working."""
+        assert issubclass(WorkloadError, ValueError)
+
+    def test_bad_json_raises_workload_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(WorkloadError):
+            load_workload(path)
+
+    def test_empty_workload_is_valid(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"queries": []}))
+        workload = load_workload(path)
+        assert len(workload) == 0
+        assert workload.counts() == {"strq": 0, "tpq": 0, "exact": 0}
+
+
+class TestPeriodBoundaryEquivalence:
+    """Batch vs scalar equivalence at TPI partition boundaries (the
+    ``searchsorted(..., side="right") - 1`` edge of the vectorised scan).
+    """
+
+    def _boundary_probes(self, engine, dataset):
+        """Probes pinned to every period's exact start/end (and ±1)."""
+        probes = []
+        rng = np.random.default_rng(31)
+        for period in engine.index.periods:
+            for t in {period.start - 1, period.start, period.start + 1,
+                      period.end - 1, period.end, period.end + 1}:
+                tid = int(rng.choice(dataset.trajectory_ids))
+                traj = dataset.get(tid)
+                row = min(max(t, 0), len(traj) - 1)
+                probes.append((float(traj.points[row, 0]),
+                               float(traj.points[row, 1]), int(t)))
+        return probes
+
+    def test_strq_at_period_boundaries(self, engine, porto_small):
+        probes = self._boundary_probes(engine, porto_small)
+        radius = engine.local_search_radius
+        batched = batch_strq(engine.index, probes, summary=engine.summary,
+                             local_search_radius=radius)
+        for (x, y, t), batch in zip(probes, batched):
+            scalar = spatio_temporal_range_query(
+                engine.index, x, y, t, summary=engine.summary,
+                local_search_radius=radius)
+            assert scalar.candidates == batch.candidates, f"t={t}"
+
+    def test_tpq_at_period_boundaries(self, engine, porto_small):
+        probes = [(x, y, t, 6) for x, y, t
+                  in self._boundary_probes(engine, porto_small)]
+        batched = batch_tpq(engine.index, engine.summary, probes)
+        for (x, y, t, length), batch in zip(probes, batched):
+            scalar = trajectory_path_query(engine.index, engine.summary,
+                                           x, y, t, length)
+            assert set(scalar.paths) == set(batch.paths), f"t={t}"
+            for tid in scalar.paths:
+                assert np.array_equal(scalar.paths[tid], batch.paths[tid])
+
+
 class TestReconstructionCache:
     def test_hit_miss_counting(self):
         cache = ReconstructionCache(capacity=4)
@@ -229,9 +325,35 @@ class TestReconstructionCache:
         assert (0, True) in cache and (2, True) in cache
         assert cache.evictions == 1
 
-    def test_capacity_validation(self):
-        with pytest.raises(ValueError):
-            ReconstructionCache(capacity=0)
+    @pytest.mark.parametrize("capacity", [0, -1, -100])
+    def test_degenerate_capacity_disables_cache(self, capacity):
+        """``capacity <= 0`` means "no caching" -- never a crash or growth."""
+        cache = ReconstructionCache(capacity=capacity)
+        assert cache.disabled
+        assert cache.capacity == 0
+        for t in range(50):
+            cache.put((t, True), {1: np.zeros(2)})
+            assert cache.get((t, True)) is None     # nothing is ever stored
+        assert len(cache) == 0
+        assert cache.evictions == 0                 # rejected puts are not evictions
+        assert cache.hits == 0 and cache.misses == 50
+        cache.clear()                               # must not KeyError
+        assert cache.stats()["misses"] == 50
+
+    def test_disabled_slice_cache_end_to_end(self, fitted_ppq_s, porto_small):
+        """A summary serving with a disabled slice cache answers identically."""
+        engine = fitted_ppq_s.engine
+        summary = fitted_ppq_s.summary
+        probes = random_probes(porto_small, 8, seed=12)
+        want = [engine.strq(x, y, t).candidates for x, y, t in probes]
+        original = summary.slice_cache
+        summary.slice_cache = ReconstructionCache(capacity=0)
+        try:
+            got = [engine.strq(x, y, t).candidates for x, y, t in probes]
+            assert len(summary.slice_cache) == 0
+        finally:
+            summary.slice_cache = original
+        assert want == got
 
     def test_clear_keeps_counters(self):
         cache = ReconstructionCache(capacity=2)
@@ -240,6 +362,18 @@ class TestReconstructionCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats()["hits"] == 1
+
+    def test_counters_coherent_across_clear(self):
+        """hits + misses keeps counting monotonically through clear()."""
+        cache = ReconstructionCache(capacity=2)
+        cache.put((0, True), {})
+        cache.get((0, True))      # hit
+        cache.get((1, True))      # miss
+        cache.clear()
+        cache.get((0, True))      # miss again: clear() emptied the store
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        assert stats["hits"] + stats["misses"] == 3
 
 
 class TestSummarySliceCache:
